@@ -1,0 +1,31 @@
+"""Benchmark: GRNG design-choice ablations (RLF step policy, SeMem width,
+Wallace sharing/units/phase)."""
+
+from repro.experiments import ablation_rlf, ablation_wallace
+
+
+def test_ablation_rlf(record_experiment):
+    result = record_experiment("ablation_rlf", ablation_rlf.run, ablation_rlf.render)
+    single = result["step_rows"]["single-step (eq. 10)"]
+    double = result["step_rows"]["double-step (eqs. 12)"]
+    # The combined update's wider delta must reduce walk persistence.
+    assert double["lane_lag_acf"] <= single["lane_lag_acf"] + 0.02
+    # Wider SeMem -> closer to normal (monotone KS trend end-to-end).
+    widths = result["width_rows"]
+    assert widths[255]["ks_statistic"] <= widths[31]["ks_statistic"]
+
+
+def test_ablation_wallace(record_experiment):
+    result = record_experiment(
+        "ablation_wallace", ablation_wallace.run, ablation_wallace.render
+    )
+    sharing = result["sharing"]
+    assert (
+        sharing["BNNWallace (sharing+shifting)"]
+        > sharing["Wallace-NSS (no sharing/shifting)"]
+    )
+    # Fixed-total-memory sweep: quality stays in one band across splits.
+    sigma_errors = [row["sigma_error"] for row in result["fixed_memory"].values()]
+    assert max(sigma_errors) < 0.1
+    # Per-cycle phase keeps the pool-pass-lag correlation small.
+    assert abs(result["pool_pass_acf"]) < 0.1

@@ -1,0 +1,21 @@
+"""Benchmark: MC sample count and epsilon-source ablations."""
+
+from repro.experiments import ablation_mc
+
+
+def test_ablation_mc(record_experiment):
+    result = record_experiment("ablation_mc", ablation_mc.run, ablation_mc.render)
+    import pytest
+
+    sweep = {p["n_samples"]: p for p in result["sweep"]}
+    # Throughput divides by N.
+    assert sweep[10]["paper_images_per_second"] * 10 == pytest.approx(
+        sweep[1]["paper_images_per_second"]
+    )
+    # More samples should not hurt accuracy materially.
+    assert sweep[30]["accuracy"] >= sweep[1]["accuracy"] - 0.03
+    # Hardware GRNGs within a few percent of the ideal sampler.
+    sources = result["sources"]
+    ideal = sources["ideal (NumPy)"]
+    assert sources["RLF-GRNG"] >= ideal - 0.05
+    assert sources["BNNWallace-GRNG"] >= ideal - 0.05

@@ -1,0 +1,33 @@
+"""Benchmark: raw accelerator-model inference rate (supporting data).
+
+Not a paper table — operational benchmarks of the simulator itself, so
+regressions in the functional datapath show up in CI timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BayesianNetwork
+from repro.hw.accelerator import VibnnAccelerator
+from repro.hw.config import ArchitectureConfig
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    network = BayesianNetwork((64, 32, 10), seed=0, initial_sigma=0.02)
+    config = ArchitectureConfig(pe_sets=2, pes_per_set=4, pe_inputs=4, bit_length=8)
+    return VibnnAccelerator(config, network.posterior_parameters(), seed=0)
+
+
+def test_accelerator_inference_rate(benchmark, accelerator):
+    x = np.random.default_rng(0).random((32, 64))
+    result = benchmark(lambda: accelerator.infer(x, n_samples=2))
+    assert result.predictions.shape == (32,)
+
+
+def test_rlf_code_generation_rate(benchmark):
+    from repro.grng import ParallelRlfGrng
+
+    grng = ParallelRlfGrng(lanes=256, seed=0)
+    codes = benchmark(lambda: grng.generate_codes(8192))
+    assert codes.shape == (8192,)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 15 (runs-test pass rates)."""
+
+from repro.experiments import fig15
+
+
+def test_fig15_randomness(record_experiment):
+    result = record_experiment("fig15", fig15.run, fig15.render)
+    rates = result["rates"]
+    # The paper's headline: the NSS ablation fails where every proper
+    # design passes.
+    for good in ("wallace-256", "wallace-1024", "wallace-4096", "bnnwallace"):
+        assert rates[good] >= 0.65, good
+    assert rates["wallace-nss"] < min(
+        rates[g] for g in ("wallace-256", "wallace-1024", "wallace-4096", "bnnwallace")
+    )

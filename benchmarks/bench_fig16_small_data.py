@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 16 (FNN vs BNN accuracy vs data fraction)."""
+
+from repro.experiments import fig16
+
+
+def test_fig16_small_data(record_experiment):
+    result = record_experiment("fig16", fig16.run, fig16.render)
+    points = sorted(result["points"], key=lambda p: p["fraction"])
+    # Expected shape: at the smallest fraction the BNN is at least
+    # competitive with the FNN; at full data both models work.
+    smallest, largest = points[0], points[-1]
+    assert smallest["bnn_accuracy"] >= smallest["fnn_accuracy"] - 0.05
+    assert largest["fnn_accuracy"] > 0.85
+    assert largest["bnn_accuracy"] > 0.85

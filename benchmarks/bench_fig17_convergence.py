@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 17 (training-convergence curves)."""
+
+from repro.experiments import fig17
+
+
+def test_fig17_convergence(record_experiment):
+    result = record_experiment("fig17", fig17.run, fig17.render)
+    for point in result["points"]:
+        fnn_curve = point["fnn_history"].test_accuracy
+        bnn_curve = point["bnn_history"].test_accuracy
+        # Both curves must improve over training.
+        assert fnn_curve[-1] >= fnn_curve[0] - 0.02
+        assert bnn_curve[-1] >= bnn_curve[0]
+        # BNN converges to a competitive level on small fractions.
+        assert bnn_curve[-1] >= fnn_curve[-1] - 0.07

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 18 (bit-length vs test accuracy)."""
+
+from repro.experiments import fig18
+
+
+def test_fig18_bitlength(record_experiment):
+    result = record_experiment("fig18", fig18.run, fig18.render)
+    by_bits = {p["bits"]: p["accuracy"] for p in result["points"]}
+    # Expected shape: a cliff at very low widths, saturation at high widths,
+    # and 8-bit within the acceptance threshold (the paper's chosen point).
+    assert by_bits[4] < by_bits[16]
+    assert by_bits[8] >= result["threshold"]
+    assert result["smallest_passing_bits"] is not None
+    assert result["smallest_passing_bits"] <= 8

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (GRNG stability errors)."""
+
+from repro.experiments import table1
+
+
+def test_table1_stability(record_experiment):
+    result = record_experiment(
+        "table1", table1.run, table1.render
+    )
+    rows = result["rows"]
+    # Shape assertions from the paper: software error falls with pool size,
+    # NSS is the worst Wallace variant, the proposed designs are comparable
+    # to the biggest software pool.
+    assert rows["wallace-256"]["sigma_error"] > rows["wallace-4096"]["sigma_error"]
+    assert rows["wallace-nss"]["sigma_error"] >= rows["bnnwallace"]["sigma_error"]
+    assert rows["bnnwallace"]["sigma_error"] < 5 * rows["wallace-4096"]["sigma_error"] + 0.02

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 2 (GRNG hardware utilisation/performance).
+
+Also times raw sample generation of both GRNGs — the operational quantity
+behind the frequency column.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.grng import BnnWallaceGrng, ParallelRlfGrng
+
+
+def test_table2_grng_hw(record_experiment):
+    result = record_experiment("table2", table2.run, table2.render)
+    rlf = result["reports"]["rlf"]
+    wal = result["reports"]["bnnwallace"]
+    assert rlf.memory_bits < wal.memory_bits
+    assert rlf.fmax_mhz > wal.fmax_mhz
+    assert wal.alms < rlf.alms
+
+
+@pytest.mark.parametrize(
+    "factory,label",
+    [
+        (lambda: ParallelRlfGrng(lanes=64, seed=0), "rlf-64lane"),
+        (lambda: BnnWallaceGrng(units=16, pool_size=256, seed=0), "wallace-16unit"),
+    ],
+    ids=["rlf", "bnnwallace"],
+)
+def test_grng_generation_rate(benchmark, factory, label):
+    grng = factory()
+    samples = benchmark(lambda: grng.generate(4096))
+    assert samples.shape == (4096,)

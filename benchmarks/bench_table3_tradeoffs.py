@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 3 (qualitative trade-off checks)."""
+
+from repro.experiments import table3
+
+
+def test_table3_tradeoffs(record_experiment):
+    result = record_experiment("table3", table3.run, table3.render)
+    assert all(result["claims"].values()), "a paper claim is violated by the model"

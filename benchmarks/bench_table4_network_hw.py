@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 4 (full-design FPGA resource utilisation)."""
+
+import pytest
+
+from repro.experiments import table4
+
+
+def test_table4_network_hw(record_experiment):
+    result = record_experiment("table4", table4.run, table4.render)
+    rlf = result["reports"]["rlf"]
+    wal = result["reports"]["bnnwallace"]
+    # Calibration: the model must land on the paper's design points.
+    assert rlf.alms == pytest.approx(98_006, rel=0.001)
+    assert wal.alms == pytest.approx(91_126, rel=0.001)
+    assert rlf.memory_bits == 4_572_928
+    assert wal.memory_bits == 4_880_128
+    assert rlf.fits_device() and wal.fits_device()

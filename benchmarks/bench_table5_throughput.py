@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 5 (throughput and energy efficiency).
+
+The CPU row is measured live on this host; the FPGA rows come from the
+cycle/power models.  The headline shape — FPGA orders of magnitude more
+energy-efficient than the software platforms — must hold.
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_throughput(record_experiment):
+    result = record_experiment("table5", table5.run, table5.render)
+    rows = result["rows"]
+    cpu_label = next(k for k in rows if k.startswith("Intel"))
+    rlf_label = next(k for k in rows if k.startswith("RLF"))
+    wal_label = next(k for k in rows if k.startswith("BNNWallace"))
+    cpu_ips, cpu_ipj = rows[cpu_label]
+    rlf_ips, rlf_ipj = rows[rlf_label]
+    wal_ips, wal_ipj = rows[wal_label]
+    # Shape: both FPGA designs beat the measured CPU on throughput and
+    # energy by a wide margin; the RLF design is the most efficient.
+    assert rlf_ips > 10 * cpu_ips
+    assert rlf_ipj > 50 * cpu_ipj
+    assert rlf_ipj > wal_ipj
+    assert rlf_ips == wal_ips  # both run at the same system clock

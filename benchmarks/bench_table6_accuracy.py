@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 6 (digit-task accuracy of the model trio)."""
+
+from repro.experiments import table6
+
+
+def test_table6_accuracy(record_experiment):
+    result = record_experiment("table6", table6.run, table6.render)
+    acc = result["accuracies"]
+    fnn = acc["FNN+Dropout (Software)"]
+    bnn = acc["BNN (Software)"]
+    vibnn = acc["VIBNN (Hardware)"]
+    # Shape: all three models are competent; the BNN is at least
+    # competitive with the dropout FNN; the 8-bit hardware path loses only
+    # a small amount vs the float software BNN (paper: 0.29 pp).
+    assert fnn > 0.8 and bnn > 0.8
+    assert bnn >= fnn - 0.03
+    assert vibnn >= bnn - 0.03

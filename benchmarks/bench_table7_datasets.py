@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 7 (disease-dataset accuracy of the trio)."""
+
+import numpy as np
+
+from repro.experiments import table7
+
+
+def test_table7_datasets(record_experiment):
+    result = record_experiment("table7", table7.run, table7.render)
+    rows = result["rows"]
+    assert len(rows) >= 4
+    bnn_beats = 0
+    for name, row in rows.items():
+        # Every model must clearly beat chance on its (binary) task.
+        assert row["fnn"] > 0.55, name
+        assert row["bnn"] > 0.55, name
+        # Hardware within a few percent of the software BNN.
+        assert row["vibnn"] >= row["bnn"] - 0.05, name
+        if row["bnn"] >= row["fnn"] - 0.01:
+            bnn_beats += 1
+    # Shape: the BNN is at least competitive on most datasets.
+    assert bnn_beats >= len(rows) // 2

@@ -1,0 +1,17 @@
+"""Benchmark: the §2.3 GRNG taxonomy comparison."""
+
+from repro.experiments import taxonomy
+
+
+def test_taxonomy(record_experiment):
+    result = record_experiment("taxonomy", taxonomy.run, taxonomy.render)
+    rows = result["rows"]
+    # The structural facts §2.3's argument rests on:
+    # exact-marginal methods have near-perfect tails...
+    assert abs(rows["lut-icdf"]["tail_ratio"] - 1.0) < 0.15
+    assert abs(rows["ziggurat"]["tail_ratio"] - 1.0) < 0.15
+    # ...while the 12-term CLT under-covers them...
+    assert rows["clt-12"]["tail_ratio"] < 1.0
+    # ...and the proposed designs stay within a usable quality band.
+    assert rows["rlf"]["sigma_error"] < 0.1
+    assert rows["bnnwallace"]["sigma_error"] < 0.1

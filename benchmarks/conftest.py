@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table/figure of the paper via the
+experiment registry, times the run with pytest-benchmark (one round —
+these are experiments, not microbenchmarks), and writes the rendered
+table to ``benchmarks/results/<experiment>.txt`` so the reproduction
+artifacts persist next to the timing data.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_experiment(results_dir, benchmark):
+    """Run an experiment once under the benchmark timer; save its table."""
+
+    def _run(name: str, run_fn, render_fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_fn(**kwargs), rounds=1, iterations=1
+        )
+        rendered = render_fn(result)
+        (results_dir / f"{name}.txt").write_text(rendered)
+        print()
+        print(rendered)
+        return result
+
+    return _run

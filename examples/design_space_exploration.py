@@ -1,0 +1,47 @@
+"""Design-space exploration under the §5.4 joint PE/memory constraints.
+
+Enumerates feasible ``(T, S=N, B)`` design points for the MNIST-scale
+network, ranks them by modelled throughput and energy efficiency, and
+shows where the paper's 16x8x8 configuration sits.  Also sweeps the GRNG
+choice to expose the RLF-vs-Wallace system-level trade-off.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.hw.design_space import explore_design_space
+
+LAYER_SIZES = (784, 200, 200, 10)
+
+
+def main() -> None:
+    for grng_kind in ("rlf", "bnnwallace"):
+        points = explore_design_space(
+            LAYER_SIZES, grng_kind=grng_kind, max_pe_sets=25
+        )
+        print(f"== feasible design points with {grng_kind} GRNG "
+              f"(top 8 of {len(points)} by throughput)")
+        for point in points[:8]:
+            marker = " <= paper" if (
+                point.config.pe_sets == 16 and point.config.pe_inputs == 8
+            ) else ""
+            print("  " + point.describe() + marker)
+        best_energy = max(points, key=lambda p: p.images_per_joule)
+        print(f"  best energy efficiency: {best_energy.describe()}")
+        print()
+
+    print("== bit-length sweep at T=16, N=8 (rlf)")
+    for bits in (4, 8, 16):
+        points = explore_design_space(
+            LAYER_SIZES, bit_length=bits, max_pe_sets=16, pe_input_options=(8,)
+        )
+        if not points:
+            print(f"  B={bits:2d}: no feasible point (word-size constraints)")
+            continue
+        top = points[0]
+        print(f"  B={bits:2d}: {top.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""VIBNN reproduction: hardware acceleration of Bayesian neural networks.
+
+Full Python reproduction of *VIBNN: Hardware Acceleration of Bayesian
+Neural Networks* (Cai, Ren, et al., ASPLOS 2018): the RLF and BNNWallace
+Gaussian random number generators, the Bayes-by-Backprop BNN stack, the
+fixed-point datapath, and a cycle/resource/power model of the FPGA
+accelerator, plus an experiment registry regenerating every table and
+figure of the paper's evaluation.
+
+Subpackages
+-----------
+``repro.fixedpoint``  Q-format fixed-point arithmetic (S1)
+``repro.rng``         LFSR / parallel-counter substrate (S2)
+``repro.grng``        Gaussian RNGs: RLF, BNNWallace, baselines (S3-S9)
+``repro.bnn``         NumPy FNN/BNN training and inference (S10-S13)
+``repro.datasets``    synthetic digit / tabular datasets (S14)
+``repro.hw``          accelerator simulator + resource models (S15-S21)
+``repro.experiments`` one module per paper table/figure (S22)
+"""
+
+__version__ = "1.0.0"

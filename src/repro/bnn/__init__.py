@@ -1,0 +1,58 @@
+"""Neural-network substrate and Bayesian training (systems S10-S13 + extensions).
+
+Pure-NumPy implementations of everything the paper's software side needs:
+
+* :mod:`~repro.bnn.network` — deterministic feed-forward networks (FNN)
+  with dropout, the paper's software baseline;
+* :mod:`~repro.bnn.bayesian` — Bayes-by-Backprop BNNs (Blundell et al.,
+  the paper's ref. [9]): Gaussian variational posteriors ``N(mu, sigma^2)``
+  with ``sigma = softplus(rho)``, trained by reparameterised ELBO descent;
+* :mod:`~repro.bnn.inference` — Monte-Carlo ensemble prediction (eq. 6)
+  with a pluggable GRNG as the epsilon source;
+* :mod:`~repro.bnn.quantized` — the fixed-point inference path that models
+  what the FPGA computes (Tables 6-7's "VIBNN (Hardware)" rows, Fig. 18).
+"""
+
+from repro.bnn.activations import relu, relu_grad, sigmoid, softmax, softplus
+from repro.bnn.bayesian import BayesianDenseLayer, BayesianNetwork
+from repro.bnn.conv_network import BayesianConvNetwork
+from repro.bnn.convolution import BayesianConv2dLayer, MaxPool2dLayer
+from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.regression import BayesianRegressor
+from repro.bnn.serialization import export_memory_image, load_posterior, save_posterior
+from repro.bnn.losses import cross_entropy_loss
+from repro.bnn.metrics import accuracy, negative_log_likelihood
+from repro.bnn.network import FeedForwardNetwork
+from repro.bnn.optimizers import Adam, Sgd
+from repro.bnn.priors import GaussianPrior, ScaleMixturePrior
+from repro.bnn.quantized import QuantizedBayesianNetwork
+from repro.bnn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "softmax",
+    "softplus",
+    "BayesianDenseLayer",
+    "BayesianNetwork",
+    "BayesianConvNetwork",
+    "BayesianConv2dLayer",
+    "MaxPool2dLayer",
+    "BayesianRegressor",
+    "export_memory_image",
+    "load_posterior",
+    "save_posterior",
+    "MonteCarloPredictor",
+    "cross_entropy_loss",
+    "accuracy",
+    "negative_log_likelihood",
+    "FeedForwardNetwork",
+    "Adam",
+    "Sgd",
+    "GaussianPrior",
+    "ScaleMixturePrior",
+    "QuantizedBayesianNetwork",
+    "Trainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,132 @@
+"""A small Bayesian convolutional network (the CNN extension, assembled).
+
+Architecture: ``[conv -> ReLU -> maxpool] x K -> flatten -> dense head``,
+all layers Bayesian, trained with the same ELBO recipe as the dense
+networks.  Exists to back the paper's §1 claim that VIBNN's principles
+extend to CNNs — see :func:`repro.hw.controller.schedule_conv_layer` for
+the matching accelerator schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.activations import relu, relu_grad, softmax
+from repro.bnn.bayesian import BayesianDenseLayer
+from repro.bnn.convolution import BayesianConv2dLayer, MaxPool2dLayer
+from repro.bnn.losses import cross_entropy_loss
+from repro.bnn.priors import GaussianPrior
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class BayesianConvNetwork:
+    """Conv-pool stages followed by one Bayesian dense classifier head.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(channels, height, width)`` of one image.
+    conv_channels:
+        Output channels of each conv stage (each followed by 2x2 pooling).
+    n_classes:
+        Output classes of the dense head.
+    kernel_size, seed, initial_sigma, prior:
+        Usual knobs.
+    """
+
+    def __init__(
+        self,
+        input_shape: tuple[int, int, int],
+        conv_channels: tuple[int, ...] = (8,),
+        n_classes: int = 10,
+        kernel_size: int = 3,
+        seed: int = 0,
+        initial_sigma: float = 0.05,
+        prior=None,
+    ) -> None:
+        if len(input_shape) != 3:
+            raise ConfigurationError(f"input_shape must be (C, H, W), got {input_shape}")
+        check_positive("n_classes", n_classes)
+        if not conv_channels:
+            raise ConfigurationError("need at least one conv stage")
+        self.input_shape = tuple(int(v) for v in input_shape)
+        self.prior = prior if prior is not None else GaussianPrior(1.0)
+        self.conv_layers: list[BayesianConv2dLayer] = []
+        self.pools: list[MaxPool2dLayer] = []
+        shape = self.input_shape
+        for index, channels in enumerate(conv_channels):
+            conv = BayesianConv2dLayer(
+                shape[0],
+                channels,
+                kernel_size,
+                padding=kernel_size // 2,
+                seed=seed + index,
+                initial_sigma=initial_sigma,
+            )
+            out_shape = conv.output_shape(shape)
+            if out_shape[1] % 2 or out_shape[2] % 2:
+                raise ConfigurationError(
+                    f"stage {index}: spatial size {out_shape[1:]} not poolable by 2"
+                )
+            self.conv_layers.append(conv)
+            self.pools.append(MaxPool2dLayer(2))
+            shape = (out_shape[0], out_shape[1] // 2, out_shape[2] // 2)
+        self.feature_size = shape[0] * shape[1] * shape[2]
+        self.head = BayesianDenseLayer(
+            self.feature_size, n_classes, seed=seed + 100, initial_sigma=initial_sigma
+        )
+        self._conv_pre: list[np.ndarray] = []
+        self._flat_shape: tuple[int, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def weight_count(self) -> int:
+        """Gaussian numbers consumed per forward pass."""
+        return (
+            sum(conv.weight_count() for conv in self.conv_layers)
+            + self.head.weight_count()
+        )
+
+    def forward(self, x: np.ndarray, *, sample: bool = True) -> np.ndarray:
+        """Logits for a batch of ``(batch, C, H, W)`` images."""
+        self._conv_pre = []
+        hidden = np.asarray(x, dtype=np.float64)
+        for conv, pool in zip(self.conv_layers, self.pools):
+            pre = conv.forward(hidden, sample=sample)
+            self._conv_pre.append(pre)
+            hidden = pool.forward(relu(pre))
+        self._flat_shape = hidden.shape
+        flat = hidden.reshape(hidden.shape[0], -1)
+        return self.head.forward(flat, sample=sample)
+
+    def train_step(self, x, labels, optimizer, kl_scale: float) -> float:
+        """One ELBO descent step; returns the batch NLL."""
+        logits = self.forward(x, sample=True)
+        nll, grad = cross_entropy_loss(logits, labels)
+        grad = self.head.backward(grad, kl_scale, self.prior)
+        grad = grad.reshape(self._flat_shape)
+        for index in range(len(self.conv_layers) - 1, -1, -1):
+            grad = self.pools[index].backward(grad)
+            grad = grad * relu_grad(self._conv_pre[index])
+            grad = self.conv_layers[index].backward(grad, kl_scale, self.prior)
+        params, grads = [], []
+        for conv in self.conv_layers:
+            params.extend(conv.parameters())
+            grads.extend(conv.gradients())
+        params.extend(self.head.parameters())
+        grads.extend(self.head.gradients())
+        optimizer.update(params, grads)
+        return nll
+
+    def predict_proba(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """MC-averaged class probabilities (eq. 6)."""
+        check_positive("n_samples", n_samples)
+        x = np.asarray(x, dtype=np.float64)
+        total = np.zeros((x.shape[0], self.head.out_features))
+        for _ in range(n_samples):
+            total += softmax(self.forward(x, sample=True))
+        return total / n_samples
+
+    def predict(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """MC-averaged hard predictions."""
+        return self.predict_proba(x, n_samples).argmax(axis=1)

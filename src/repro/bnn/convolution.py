@@ -1,0 +1,273 @@
+"""Bayesian convolutional layers — the paper's claimed CNN extension.
+
+§1: "the design principles of VIBNN are orthogonal to the optimization
+techniques on convolutional layers ... and can be applied to CNNs as
+well".  This module substantiates that claim: a Bayesian Conv2D layer is a
+Bayesian dense layer applied to im2col patches, so sampling, the ELBO
+gradients, the fixed-point datapath and the PE-array mapping all carry
+over (the accelerator computes convolutions as GEMMs over patch vectors —
+see :func:`repro.hw.controller.schedule_conv_layer`).
+
+Layout convention: activations are ``(batch, channels, height, width)``;
+kernels are ``(out_channels, in_channels, k, k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.activations import inverse_softplus, sigmoid, softplus
+from repro.errors import ConfigurationError
+from repro.utils.seeding import spawn_generator
+from repro.utils.validation import check_positive
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ConfigurationError(
+            f"kernel {kernel} / stride {stride} / padding {padding} "
+            f"do not fit input size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Extract convolution patches.
+
+    ``x``: ``(batch, channels, H, W)`` -> ``(batch, out_h * out_w,
+    channels * kernel * kernel)``.
+    """
+    batch, channels, height, width = x.shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    patches = np.empty((batch, out_h * out_w, channels * kernel * kernel))
+    index = 0
+    for row in range(out_h):
+        for col in range(out_w):
+            r0, c0 = row * stride, col * stride
+            patch = x[:, :, r0 : r0 + kernel, c0 : c0 + kernel]
+            patches[:, index, :] = patch.reshape(batch, -1)
+            index += 1
+    return patches
+
+
+def col2im(
+    grad_patches: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter-add patch gradients back to the input layout (im2col adjoint)."""
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel, stride, padding)
+    out_w = conv_output_size(width, kernel, stride, padding)
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    index = 0
+    for row in range(out_h):
+        for col in range(out_w):
+            r0, c0 = row * stride, col * stride
+            padded[:, :, r0 : r0 + kernel, c0 : c0 + kernel] += grad_patches[
+                :, index, :
+            ].reshape(batch, channels, kernel, kernel)
+            index += 1
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class BayesianConv2dLayer:
+    """2-D convolution with factorised Gaussian kernel posteriors.
+
+    Internally a Bayesian dense layer over im2col patches: the flattened
+    kernel matrix has shape ``(in_channels * k * k, out_channels)`` with
+    per-element ``(mu, rho)``, sampled once per forward pass (the same
+    weight-generator workload pattern as a dense layer — ``k*k*C_in``
+    Gaussian numbers per output channel per pass).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        seed: int = 0,
+        initial_sigma: float = 0.05,
+    ) -> None:
+        check_positive("in_channels", in_channels)
+        check_positive("out_channels", out_channels)
+        check_positive("kernel_size", kernel_size)
+        check_positive("stride", stride)
+        if padding < 0:
+            raise ConfigurationError(f"padding must be >= 0, got {padding}")
+        check_positive("initial_sigma", initial_sigma)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        rng = spawn_generator(seed, "bayes-conv", in_channels, out_channels, kernel_size)
+        self.mu_weights = rng.standard_normal((fan_in, out_channels)) * np.sqrt(2.0 / fan_in)
+        rho_init = float(inverse_softplus(np.array(initial_sigma)))
+        self.rho_weights = np.full((fan_in, out_channels), rho_init)
+        self.mu_bias = np.zeros(out_channels)
+        self.rho_bias = np.full(out_channels, rho_init)
+        self._eps_rng = spawn_generator(seed, "bayes-conv-eps", in_channels, out_channels)
+        self._cache: dict | None = None
+        self.grad_mu_weights = np.zeros_like(self.mu_weights)
+        self.grad_rho_weights = np.zeros_like(self.rho_weights)
+        self.grad_mu_bias = np.zeros_like(self.mu_bias)
+        self.grad_rho_bias = np.zeros_like(self.rho_bias)
+
+    # ------------------------------------------------------------------
+    def sigma_weights(self) -> np.ndarray:
+        return softplus(self.rho_weights)
+
+    def sigma_bias(self) -> np.ndarray:
+        return softplus(self.rho_bias)
+
+    def weight_count(self) -> int:
+        """Stochastic parameters — Gaussian numbers needed per pass."""
+        return self.mu_weights.size + self.mu_bias.size
+
+    def output_shape(self, input_shape: tuple[int, int, int]) -> tuple[int, int, int]:
+        """``(C_in, H, W) -> (C_out, H', W')``."""
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ConfigurationError(
+                f"expected {self.in_channels} input channels, got {channels}"
+            )
+        return (
+            self.out_channels,
+            conv_output_size(height, self.kernel_size, self.stride, self.padding),
+            conv_output_size(width, self.kernel_size, self.stride, self.padding),
+        )
+
+    def forward(self, x: np.ndarray, *, sample: bool = True) -> np.ndarray:
+        """Convolve with freshly sampled kernels.
+
+        ``x``: ``(batch, C_in, H, W)`` -> ``(batch, C_out, H', W')``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        out_channels, out_h, out_w = self.output_shape(x.shape[1:])
+        if sample:
+            eps_w = self._eps_rng.standard_normal(self.mu_weights.shape)
+            eps_b = self._eps_rng.standard_normal(self.mu_bias.shape)
+        else:
+            eps_w = np.zeros_like(self.mu_weights)
+            eps_b = np.zeros_like(self.mu_bias)
+        weights = self.mu_weights + self.sigma_weights() * eps_w
+        bias = self.mu_bias + self.sigma_bias() * eps_b
+        patches = im2col(x, self.kernel_size, self.stride, self.padding)
+        out = patches @ weights + bias  # (batch, positions, C_out)
+        self._cache = {
+            "patches": patches,
+            "eps_w": eps_w,
+            "eps_b": eps_b,
+            "weights": weights,
+            "input_shape": x.shape,
+        }
+        return out.transpose(0, 2, 1).reshape(-1, out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray, kl_scale: float, prior) -> np.ndarray:
+        """Backprop through the sampled convolution; add prior gradients."""
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward")
+        cache = self._cache
+        batch, out_channels, out_h, out_w = grad_output.shape
+        grad_flat = grad_output.reshape(batch, out_channels, -1).transpose(0, 2, 1)
+        patches = cache["patches"]
+        grad_w = np.einsum("bpf,bpo->fo", patches, grad_flat)
+        grad_b = grad_flat.sum(axis=(0, 1))
+        sig_rho_w = sigmoid(self.rho_weights)
+        sig_rho_b = sigmoid(self.rho_bias)
+        self.grad_mu_weights = grad_w.copy()
+        self.grad_rho_weights = grad_w * cache["eps_w"] * sig_rho_w
+        self.grad_mu_bias = grad_b.copy()
+        self.grad_rho_bias = grad_b * cache["eps_b"] * sig_rho_b
+        if kl_scale > 0.0:
+            if prior.closed_form:
+                sigma_w, sigma_b = self.sigma_weights(), self.sigma_bias()
+                kl_mu_w, kl_sig_w = prior.kl_grad(self.mu_weights, sigma_w)
+                kl_mu_b, kl_sig_b = prior.kl_grad(self.mu_bias, sigma_b)
+                self.grad_mu_weights += kl_scale * kl_mu_w
+                self.grad_rho_weights += kl_scale * kl_sig_w * sig_rho_w
+                self.grad_mu_bias += kl_scale * kl_mu_b
+                self.grad_rho_bias += kl_scale * kl_sig_b * sig_rho_b
+            else:
+                sigma_w, sigma_b = self.sigma_weights(), self.sigma_bias()
+                sampled_b = self.mu_bias + sigma_b * cache["eps_b"]
+                neg_dlogp_w = -prior.grad_log_prob(cache["weights"])
+                neg_dlogp_b = -prior.grad_log_prob(sampled_b)
+                self.grad_mu_weights += kl_scale * neg_dlogp_w
+                self.grad_rho_weights += kl_scale * (
+                    neg_dlogp_w * cache["eps_w"] * sig_rho_w - sig_rho_w / sigma_w
+                )
+                self.grad_mu_bias += kl_scale * neg_dlogp_b
+                self.grad_rho_bias += kl_scale * (
+                    neg_dlogp_b * cache["eps_b"] * sig_rho_b - sig_rho_b / sigma_b
+                )
+        grad_patches = grad_flat @ cache["weights"].T
+        return col2im(
+            grad_patches,
+            cache["input_shape"],
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.mu_weights, self.rho_weights, self.mu_bias, self.rho_bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [
+            self.grad_mu_weights,
+            self.grad_rho_weights,
+            self.grad_mu_bias,
+            self.grad_rho_bias,
+        ]
+
+
+class MaxPool2dLayer:
+    """Non-overlapping max pooling with exact backward routing."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        check_positive("pool_size", pool_size)
+        self.pool_size = pool_size
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        p = self.pool_size
+        if height % p or width % p:
+            raise ConfigurationError(
+                f"spatial size {height}x{width} not divisible by pool {p}"
+            )
+        view = x.reshape(batch, channels, height // p, p, width // p, p)
+        out = view.max(axis=(3, 5))
+        mask = view == out[:, :, :, None, :, None]
+        self._cache = {"mask": mask, "shape": x.shape}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigurationError("backward called before forward")
+        mask = self._cache["mask"]
+        grad = mask * grad_output[:, :, :, None, :, None]
+        # If several positions tie for the max, split the gradient.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        grad = grad / counts
+        return grad.reshape(self._cache["shape"])

@@ -1,0 +1,84 @@
+"""Deterministic network layers (dense, dropout) with manual backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.seeding import spawn_generator
+from repro.utils.validation import check_positive
+
+
+class DenseLayer:
+    """Fully connected layer ``y = x W + b`` with He-initialised weights."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        rng = spawn_generator(seed, "dense", in_features, out_features)
+        scale = np.sqrt(2.0 / in_features)
+        self.weights = rng.standard_normal((in_features, out_features)) * scale
+        self.bias = np.zeros(out_features)
+        self._input: np.ndarray | None = None
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def in_features(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Affine forward pass; caches the input for backward."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"expected input shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._input = x
+        return x @ self.weights + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._input is None:
+            raise ConfigurationError("backward called before forward")
+        self.grad_weights = self._input.T @ grad_output
+        self.grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weights.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+
+class DropoutLayer:
+    """Inverted dropout: active during training, identity at inference.
+
+    The FNN baseline of Tables 6-7 is "FNN+Dropout" — dropout is the
+    conventional (non-Bayesian) regulariser the BNN is compared against.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = spawn_generator(seed, "dropout")
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

@@ -1,0 +1,79 @@
+"""Deterministic feed-forward network (the paper's FNN baseline).
+
+A plain MLP with ReLU hidden activations and optional dropout after each
+hidden layer — the "FNN (Software)" / "FNN+Dropout (Software)" rows of
+Tables 6 and 7 and the FNN curves of Figs. 16-17.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.activations import relu, relu_grad, softmax
+from repro.bnn.layers import DenseLayer, DropoutLayer
+from repro.bnn.losses import cross_entropy_loss
+from repro.errors import ConfigurationError
+
+
+class FeedForwardNetwork:
+    """MLP with ReLU hidden layers, trained by softmax cross-entropy.
+
+    Parameters
+    ----------
+    layer_sizes:
+        E.g. ``(784, 200, 200, 10)`` — the paper's MNIST topology.
+    dropout:
+        Dropout rate applied after each hidden activation (0 disables).
+    seed:
+        Seeds weight init and dropout masks.
+    """
+
+    def __init__(self, layer_sizes: tuple[int, ...], dropout: float = 0.0, seed: int = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigurationError("need at least input and output sizes")
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.layers = [
+            DenseLayer(self.layer_sizes[i], self.layer_sizes[i + 1], seed=seed + i)
+            for i in range(len(self.layer_sizes) - 1)
+        ]
+        self.dropouts = [
+            DropoutLayer(dropout, seed=seed + 100 + i)
+            for i in range(len(self.layers) - 1)
+        ]
+        self._pre_activations: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Return logits for a batch ``x`` of shape ``(batch, in_features)``."""
+        self._pre_activations = []
+        hidden = np.asarray(x, dtype=np.float64)
+        for index, layer in enumerate(self.layers[:-1]):
+            pre = layer.forward(hidden)
+            self._pre_activations.append(pre)
+            hidden = relu(pre)
+            hidden = self.dropouts[index].forward(hidden, training)
+        return self.layers[-1].forward(hidden)
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray, optimizer) -> float:
+        """One SGD step on a minibatch; returns the batch loss."""
+        logits = self.forward(x, training=True)
+        loss, grad = cross_entropy_loss(logits, labels)
+        grad = self.layers[-1].backward(grad)
+        for index in range(len(self.layers) - 2, -1, -1):
+            grad = self.dropouts[index].backward(grad)
+            grad = grad * relu_grad(self._pre_activations[index])
+            grad = self.layers[index].backward(grad)
+        params: list[np.ndarray] = []
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+            grads.extend(layer.gradients())
+        optimizer.update(params, grads)
+        return loss
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (dropout disabled)."""
+        return softmax(self.forward(x, training=False))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.predict_proba(x).argmax(axis=1)

@@ -1,0 +1,84 @@
+"""First-order optimizers operating on lists of parameter arrays in place.
+
+Training happens offline on the host (§2.2: "the network is trained
+offline ... using high performance computing platforms"), so these are
+plain NumPy implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class Sgd:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0) -> None:
+        check_positive("learning_rate", learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update step; ``params`` are modified in place."""
+        if len(params) != len(grads):
+            raise ConfigurationError("params and grads length mismatch")
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            if param.shape != grad.shape:
+                raise ConfigurationError(
+                    f"param/grad shape mismatch at {index}: {param.shape} vs {grad.shape}"
+                )
+            if self.momentum:
+                velocity = self._velocity.setdefault(index, np.zeros_like(param))
+                velocity *= self.momentum
+                velocity -= self.learning_rate * grad
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        check_positive("learning_rate", learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        check_positive("epsilon", epsilon)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one Adam step; ``params`` are modified in place."""
+        if len(params) != len(grads):
+            raise ConfigurationError("params and grads length mismatch")
+        self._t += 1
+        lr_t = self.learning_rate * (
+            np.sqrt(1.0 - self.beta2**self._t) / (1.0 - self.beta1**self._t)
+        )
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            if param.shape != grad.shape:
+                raise ConfigurationError(
+                    f"param/grad shape mismatch at {index}: {param.shape} vs {grad.shape}"
+                )
+            m = self._m.setdefault(index, np.zeros_like(param))
+            v = self._v.setdefault(index, np.zeros_like(param))
+            m += (1.0 - self.beta1) * (grad - m)
+            v += (1.0 - self.beta2) * (grad**2 - v)
+            param -= lr_t * m / (np.sqrt(v) + self.epsilon)

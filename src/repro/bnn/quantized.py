@@ -1,0 +1,214 @@
+"""Fixed-point BNN inference — the functional model of the FPGA datapath.
+
+This is what the accelerator actually computes (§5.1-5.3): ``(mu, sigma)``
+are stored as ``B``-bit codes, the weight updater forms
+``w = mu + sigma * eps`` in fixed point, the MAC tree accumulates wide and
+requantizes once, the bias is added and ReLU applied.  Tables 6-7's
+"VIBNN (Hardware)" rows and the Fig. 18 bit-length sweep run through this
+class; :mod:`repro.hw.accelerator` wraps it with cycle/resource accounting
+and is tested to agree with it bit for bit.
+
+Number formats
+--------------
+Weights and activations have very different dynamic ranges — trained
+weight samples live in (-1, 1) while post-ReLU activations of a 784-input
+layer reach several units — so a ``B``-bit datapath uses two binary-point
+placements (standard fixed-point accelerator practice):
+
+* weights / sigma / mu: ``Q0.(B-1)``  (range +-1, finest resolution);
+* activations:          ``Q3.(B-4)``  (range +-8);
+* biases: stored at the *accumulator* precision
+  (``weight frac + activation frac`` fractional bits) and added before
+  the single requantize shift, so tiny biases are not crushed by the
+  coarse activation resolution.
+
+The multiplier result carries ``frac_w + frac_a`` fractional bits; the
+adder tree accumulates at full precision; one rounding shift returns to
+the activation format.  This is bit-exact with what
+:class:`repro.hw.pe.ProcessingElement` computes.
+
+Epsilon sources
+---------------
+* An integer-code GRNG (:class:`~repro.grng.rlf.ParallelRlfGrng`): the
+  8-bit popcount ``pc`` becomes ``eps ~= (pc - 128) / 8``.  The divisor 8
+  approximates the binomial sigma ``sqrt(255/4) = 7.984`` so the hardware
+  divides with a 3-bit shift — a 0.2% systematic sigma error that the
+  experiments show is harmless.
+* Any float GRNG (e.g. BNNWallace): epsilons are quantized to ``Q2.(B-3)``
+  (range +-4 covers the Gaussian support that matters).
+* ``None``: a NumPy stream (the "ideal sampler, quantized datapath"
+  ablation used by the bit-length study).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.activations import softmax
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat, requantize, saturate
+from repro.grng.base import Grng
+from repro.utils.seeding import spawn_generator
+from repro.utils.validation import check_positive
+
+#: Right-shift used to standardise 255-trial binomial codes: 2**3 = 8
+#: approximates sigma = sqrt(255/4) = 7.984.
+RLF_SIGMA_SHIFT = 3
+RLF_CODE_OFFSET = 128
+
+#: Integer bits (excluding sign) given to the activation format.
+ACTIVATION_INTEGER_BITS = 3
+#: Integer bits given to quantized float epsilons (+-4 covers N(0,1)).
+EPSILON_INTEGER_BITS = 2
+
+
+def weight_format(bit_length: int) -> QFormat:
+    """``Q0.(B-1)``: full resolution for (-1, 1) weight samples."""
+    return QFormat(integer_bits=0, frac_bits=bit_length - 1)
+
+
+def activation_format(bit_length: int) -> QFormat:
+    """``Q3.(B-4)``: +-8 range for accumulated activations."""
+    frac = max(1, bit_length - 1 - ACTIVATION_INTEGER_BITS)
+    return QFormat(integer_bits=ACTIVATION_INTEGER_BITS, frac_bits=frac)
+
+
+def epsilon_format(bit_length: int) -> QFormat:
+    """``Q2.(B-3)``: the format float epsilons are quantized into."""
+    frac = max(1, bit_length - 1 - EPSILON_INTEGER_BITS)
+    return QFormat(integer_bits=EPSILON_INTEGER_BITS, frac_bits=frac)
+
+
+class QuantizedBayesianNetwork:
+    """Fixed-point MC inference over exported posterior parameters.
+
+    Parameters
+    ----------
+    posterior:
+        Output of :meth:`repro.bnn.bayesian.BayesianNetwork.posterior_parameters`.
+    bit_length:
+        Operand width ``B`` (the paper selects 8 via Fig. 18).
+    grng:
+        Epsilon source (see module docstring).
+    seed:
+        Seeds the fallback NumPy epsilon stream.
+    """
+
+    def __init__(
+        self,
+        posterior: list[dict[str, np.ndarray]],
+        bit_length: int = 8,
+        grng: Grng | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not posterior:
+            raise ConfigurationError("posterior parameter list is empty")
+        if bit_length < 4 or bit_length > 32:
+            raise ConfigurationError(
+                f"bit_length must be in 4..32, got {bit_length}"
+            )
+        self.bit_length = bit_length
+        self.weight_fmt = weight_format(bit_length)
+        self.act_fmt = activation_format(bit_length)
+        self.eps_fmt = epsilon_format(bit_length)
+        #: Fractional bits carried by the MAC accumulator (and biases).
+        self.acc_frac_bits = self.weight_fmt.frac_bits + self.act_fmt.frac_bits
+        self.grng = grng
+        self._rng = spawn_generator(seed, "quantized-eps")
+        self.layers = []
+        acc_scale = 1 << self.acc_frac_bits
+        for params in posterior:
+            bias_w = np.round(params["mu_bias"] * acc_scale).astype(np.int64)
+            self.layers.append(
+                {
+                    "mu_w": self.weight_fmt.quantize(params["mu_weights"]),
+                    "sigma_w": self.weight_fmt.quantize(params["sigma_weights"]),
+                    # Bias mean at accumulator precision; bias sigma stays in
+                    # the weight format (it scales an epsilon like a weight).
+                    "mu_b_acc": bias_w,
+                    "sigma_b": self.weight_fmt.quantize(params["sigma_bias"]),
+                }
+            )
+        self.layer_sizes = tuple(
+            [self.layers[0]["mu_w"].shape[0]]
+            + [layer["mu_w"].shape[1] for layer in self.layers]
+        )
+
+    # ------------------------------------------------------------------
+    # Epsilon handling
+    # ------------------------------------------------------------------
+    def _eps_codes(self, count: int) -> tuple[np.ndarray, int]:
+        """Draw ``count`` epsilon codes and their fractional bit count."""
+        if self.grng is not None:
+            try:
+                codes = self.grng.generate_codes(count)
+            except ConfigurationError:
+                floats = self.grng.generate(count)
+                return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
+            return codes - RLF_CODE_OFFSET, RLF_SIGMA_SHIFT
+        floats = self._rng.standard_normal(count)
+        return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
+
+    def _sample_layer_weights(self, layer: dict) -> tuple[np.ndarray, np.ndarray]:
+        """Weight updater: ``w = mu + sigma * eps`` in fixed point.
+
+        Returns weight codes (weight format) and bias codes at the
+        accumulator precision.
+        """
+        w_size = layer["mu_w"].size
+        b_size = layer["mu_b_acc"].size
+        eps, eps_frac = self._eps_codes(w_size + b_size)
+        eps_w = eps[:w_size].reshape(layer["mu_w"].shape)
+        eps_b = eps[w_size:]
+        prod_w = layer["sigma_w"].astype(np.int64) * eps_w.astype(np.int64)
+        delta_w = requantize(
+            prod_w, self.weight_fmt.frac_bits + eps_frac, self.weight_fmt
+        )
+        w = saturate(layer["mu_w"] + delta_w, self.weight_fmt)
+        # Bias noise: sigma_b (weight frac) * eps -> shift up to accumulator
+        # precision, then add to the wide bias mean (no saturation needed:
+        # the accumulator is wide).
+        prod_b = layer["sigma_b"].astype(np.int64) * eps_b.astype(np.int64)
+        shift = self.acc_frac_bits - (self.weight_fmt.frac_bits + eps_frac)
+        if shift >= 0:
+            delta_b = prod_b << shift
+        else:
+            delta_b = prod_b >> (-shift)
+        b = layer["mu_b_acc"] + delta_b
+        return w, b
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def forward_sample_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        """One stochastic forward pass on activation-format codes."""
+        if x_codes.ndim != 2 or x_codes.shape[1] != self.layer_sizes[0]:
+            raise ConfigurationError(
+                f"expected codes of shape (batch, {self.layer_sizes[0]}), got {x_codes.shape}"
+            )
+        hidden = x_codes.astype(np.int64)
+        for index, layer in enumerate(self.layers):
+            w, b = self._sample_layer_weights(layer)
+            # MAC tree: full-precision accumulate, wide bias add, single
+            # rounding shift back to the activation format.
+            wide = hidden @ w.astype(np.int64) + b
+            acc = requantize(wide, self.acc_frac_bits, self.act_fmt)
+            if index < len(self.layers) - 1:
+                hidden = np.maximum(acc, 0)  # ReLU on codes
+            else:
+                return acc
+        raise ConfigurationError("no layers")  # pragma: no cover
+
+    def predict_proba(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """MC-averaged probabilities from the fixed-point datapath."""
+        check_positive("n_samples", n_samples)
+        x_codes = self.act_fmt.quantize(np.asarray(x, dtype=np.float64))
+        total = np.zeros((x_codes.shape[0], self.layer_sizes[-1]))
+        for _ in range(n_samples):
+            logits = self.act_fmt.dequantize(self.forward_sample_codes(x_codes))
+            total += softmax(logits)
+        return total / n_samples
+
+    def predict(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """MC-averaged hard predictions."""
+        return self.predict_proba(x, n_samples).argmax(axis=1)

@@ -1,0 +1,132 @@
+"""Minibatch training loop shared by the FNN and BNN experiments.
+
+Records per-epoch train/test accuracy so the convergence curves of Fig. 17
+can be regenerated directly from the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.metrics import accuracy
+from repro.bnn.network import FeedForwardNetwork
+from repro.bnn.optimizers import Adam
+from repro.errors import ConfigurationError, TrainingError
+from repro.utils.seeding import spawn_generator
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch trace of a training run (Fig. 17's raw material)."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    kl: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def final_test_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise TrainingError("no epochs recorded")
+        return self.test_accuracy[-1]
+
+
+class Trainer:
+    """Generic minibatch trainer for FNN and BNN models.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.bnn.network.FeedForwardNetwork` or
+        :class:`~repro.bnn.bayesian.BayesianNetwork`.
+    optimizer:
+        Any object with ``update(params, grads)``; defaults to Adam(1e-3).
+    batch_size, epochs, seed:
+        Standard loop controls; the seed drives shuffling only.
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer=None,
+        batch_size: int = 64,
+        epochs: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if epochs < 1:
+            raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+        self.model = model
+        self.optimizer = optimizer if optimizer is not None else Adam(1e-3)
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self._rng = spawn_generator(seed, "trainer-shuffle")
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray | None = None,
+        y_test: np.ndarray | None = None,
+        *,
+        eval_samples: int = 5,
+    ) -> TrainingHistory:
+        """Train and return the per-epoch history.
+
+        For Bayesian models the per-batch KL weight is
+        ``batch_size / n_train`` so one epoch sums to one full ELBO.
+        """
+        x_train = np.asarray(x_train, dtype=np.float64)
+        y_train = np.asarray(y_train)
+        if x_train.shape[0] != y_train.shape[0]:
+            raise ConfigurationError("x_train/y_train length mismatch")
+        if x_train.shape[0] == 0:
+            raise ConfigurationError("empty training set")
+        n_train = x_train.shape[0]
+        is_bayesian = isinstance(self.model, BayesianNetwork)
+        kl_scale = 1.0 / n_train
+        history = TrainingHistory()
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n_train)
+            epoch_loss = 0.0
+            epoch_kl = 0.0
+            batches = 0
+            for start in range(0, n_train, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                xb, yb = x_train[batch_idx], y_train[batch_idx]
+                if is_bayesian:
+                    nll, kl = self.model.train_step(xb, yb, self.optimizer, kl_scale)
+                    epoch_loss += nll
+                    epoch_kl += kl
+                else:
+                    epoch_loss += self.model.train_step(xb, yb, self.optimizer)
+                batches += 1
+            history.train_loss.append(epoch_loss / batches)
+            history.kl.append(epoch_kl / batches if is_bayesian else 0.0)
+            history.train_accuracy.append(
+                self._evaluate(x_train, y_train, eval_samples)
+            )
+            if x_test is not None and y_test is not None:
+                history.test_accuracy.append(
+                    self._evaluate(x_test, y_test, eval_samples)
+                )
+            if not np.isfinite(history.train_loss[-1]):
+                raise TrainingError(
+                    f"training diverged at epoch {history.epochs} "
+                    f"(loss={history.train_loss[-1]})"
+                )
+        return history
+
+    def _evaluate(self, x: np.ndarray, y: np.ndarray, eval_samples: int) -> float:
+        if isinstance(self.model, BayesianNetwork):
+            predictions = self.model.predict(x, n_samples=eval_samples)
+        else:
+            predictions = self.model.predict(x)
+        return accuracy(predictions, y)

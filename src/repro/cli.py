@@ -1,0 +1,124 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table1 [--out results/]
+    python -m repro.cli run-all [--out results/]
+    python -m repro.cli grng rlf --samples 10000
+    python -m repro.cli design-space --grng rlf
+
+``run`` executes one registered experiment (a paper table/figure) and
+prints/saves the rendered table; ``grng`` draws samples from a registered
+generator and prints its quality metrics; ``design-space`` runs the §5.4
+explorer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.grng import available_grngs, make_grng
+from repro.grng.quality import runs_test, stability_error
+from repro.hw.design_space import explore_design_space
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<8} {doc}")
+    print("\ngenerators:")
+    for name in available_grngs():
+        print(f"  {name}")
+    return 0
+
+
+def _run_one(name: str, out_dir: pathlib.Path | None) -> None:
+    experiment = get_experiment(name)
+    rendered = experiment.render(experiment.run())
+    print(rendered)
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(rendered)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _run_one(args.experiment, args.out)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(f"### {name}")
+        _run_one(name, args.out)
+    return 0
+
+
+def _cmd_grng(args: argparse.Namespace) -> int:
+    generator = make_grng(args.generator, seed=args.seed)
+    samples = generator.generate(args.samples)
+    stability = stability_error(samples)
+    runs = runs_test(samples)
+    print(f"generator : {args.generator}")
+    print(f"samples   : {args.samples}")
+    print(f"mu error  : {stability.mu_error:.5f}")
+    print(f"sigma err : {stability.sigma_error:.5f}")
+    print(f"runs test : p={runs.p_value:.4f} ({'pass' if runs.passed() else 'FAIL'})")
+    return 0
+
+
+def _cmd_design_space(args: argparse.Namespace) -> int:
+    points = explore_design_space(
+        tuple(args.layers), grng_kind=args.grng, max_pe_sets=args.max_pe_sets
+    )
+    print(f"{len(points)} feasible design points (best first):")
+    for point in points[: args.top]:
+        print("  " + point.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="VIBNN reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and generators").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--out", type=pathlib.Path, default=None, help="save rendered table here")
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--out", type=pathlib.Path, default=None)
+    run_all.set_defaults(func=_cmd_run_all)
+
+    grng = sub.add_parser("grng", help="sample a generator and report quality")
+    grng.add_argument("generator", choices=available_grngs())
+    grng.add_argument("--samples", type=int, default=20_000)
+    grng.add_argument("--seed", type=int, default=0)
+    grng.set_defaults(func=_cmd_grng)
+
+    design = sub.add_parser("design-space", help="explore §5.4 design points")
+    design.add_argument("--grng", choices=("rlf", "bnnwallace"), default="rlf")
+    design.add_argument("--layers", type=int, nargs="+", default=[784, 200, 200, 10])
+    design.add_argument("--max-pe-sets", type=int, default=25)
+    design.add_argument("--top", type=int, default=10)
+    design.set_defaults(func=_cmd_design_space)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

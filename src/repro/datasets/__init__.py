@@ -1,0 +1,29 @@
+"""Synthetic datasets substituting for the paper's benchmarks (system S14).
+
+No network access is available, so the paper's datasets are replaced by
+synthetic generators that preserve the properties each experiment depends
+on (documented per-substitution in DESIGN.md):
+
+* :mod:`~repro.datasets.digits` — 28x28 stroke-rendered digit images with
+  affine jitter and pixel noise (MNIST substitute; 784-in / 10-class);
+* :mod:`~repro.datasets.tabular` — Gaussian-cluster classification tasks
+  with the feature counts, class balance and label noise of the four
+  disease datasets and the TOX21 sub-tasks of Table 7.
+"""
+
+from repro.datasets.digits import DigitImageGenerator, load_digits_split
+from repro.datasets.tabular import (
+    DISEASE_DATASETS,
+    TabularSpec,
+    load_tabular_split,
+    make_tabular,
+)
+
+__all__ = [
+    "DigitImageGenerator",
+    "load_digits_split",
+    "DISEASE_DATASETS",
+    "TabularSpec",
+    "load_tabular_split",
+    "make_tabular",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the VIBNN reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError``...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or out-of-range parameters."""
+
+
+class FixedPointOverflowError(ReproError):
+    """A fixed-point operation overflowed and saturation was disabled."""
+
+
+class MemoryPortConflictError(ReproError):
+    """Too many accesses were issued to a hardware RAM model in one cycle."""
+
+
+class MemoryAccessError(ReproError):
+    """An out-of-range address or word-width mismatch on a memory model."""
+
+
+class SchedulingError(ReproError):
+    """The accelerator controller could not schedule a layer on the PE array."""
+
+
+class TrainingError(ReproError):
+    """Neural-network training diverged or was configured incorrectly."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received inconsistent parameters."""

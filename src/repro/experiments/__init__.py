@@ -1,0 +1,16 @@
+"""Experiment registry: one module per table/figure of the evaluation (§6).
+
+Each module exposes ``run(**options) -> dict`` returning the experiment's
+raw numbers plus the paper's reference values, and ``render(result) ->
+str`` producing the table the paper prints.  The benchmark harness
+(``benchmarks/``) times ``run`` and writes the rendered tables to
+``benchmarks/results/``; the examples call the same functions.
+
+Default workloads are scaled down so the whole harness runs in minutes;
+set the environment variable ``REPRO_FULL=1`` for paper-scale runs.
+"""
+
+from repro.experiments.common import full_scale, render_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["full_scale", "render_table", "EXPERIMENTS", "get_experiment"]

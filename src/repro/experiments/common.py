@@ -1,0 +1,71 @@
+"""Shared experiment plumbing: scale switches, table rendering, defaults."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+#: Training defaults distilled from the reproduction's tuning runs (see
+#: EXPERIMENTS.md): Blundell's scale-mixture prior with a narrow spike,
+#: small initial posterior sigma, Adam, and ~3x the FNN's epoch budget to
+#: absorb the noisier reparameterised gradients.
+BNN_TRAINING = {
+    "prior_pi": 0.5,
+    "prior_sigma1": 1.0,
+    "prior_sigma2": 0.0025,
+    "initial_sigma": 0.02,
+    "learning_rate": 3e-3,
+    "epoch_multiplier": 3,
+}
+
+FNN_TRAINING = {
+    "learning_rate": 1e-3,
+    "dropout": 0.5,  # Table 6's baseline is "FNN+Dropout"
+}
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale workloads (``REPRO_FULL=1``)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def scaled(default: int, full: int) -> int:
+    """Pick the workload size for the current scale."""
+    return full if full_scale() else default
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Plain-text table in the style of the paper's tables."""
+    columns = [
+        [str(header)] + [_fmt(row[i]) for row in rows]
+        for i, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.4g}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,61 @@
+"""Fig. 15 — randomness-test pass rates of Wallace designs.
+
+The paper generates 100,000 numbers per trial, applies Matlab's
+``runstest``, repeats 1000 times and reports the pass rate.  We use the
+same Wald–Wolfowitz statistic (alpha = 0.05) over independently seeded
+generator instances.  Expected shape: all proper Wallace variants pass at
+~the nominal rate; the NSS ablation fails almost always.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import render_table, scaled
+from repro.grng import make_grng
+from repro.grng.quality import pass_rate
+
+GENERATORS = (
+    "wallace-256",
+    "wallace-1024",
+    "wallace-4096",
+    "bnnwallace",
+    "wallace-nss",
+)
+
+#: Approximate pass rates read off the paper's Fig. 15 bars.
+PAPER_PASS_RATES = {
+    "wallace-256": 0.95,
+    "wallace-1024": 0.95,
+    "wallace-4096": 0.95,
+    "bnnwallace": 0.95,
+    "wallace-nss": 0.0,
+}
+
+
+def run(trials: int | None = None, samples: int | None = None, base_seed: int = 0) -> dict:
+    """Runs-test pass rate per generator (Fig. 15's bars)."""
+    trials = trials if trials is not None else scaled(20, 200)
+    samples = samples if samples is not None else scaled(20_000, 100_000)
+    rates = {}
+    for name in GENERATORS:
+        rates[name] = pass_rate(
+            lambda seed, _name=name: make_grng(_name, seed=base_seed + seed),
+            trials=trials,
+            samples_per_trial=samples,
+        )
+    return {"trials": trials, "samples": samples, "rates": rates}
+
+
+def render(result: dict) -> str:
+    rows = [
+        [name, result["rates"][name], PAPER_PASS_RATES[name]]
+        for name in GENERATORS
+    ]
+    return render_table(
+        "Fig. 15: Runs-test pass rates (alpha = 0.05)",
+        ["Generator", "pass rate (ours)", "pass rate (paper, approx)"],
+        rows,
+        note=(
+            f"{result['trials']} trials x {result['samples']} samples. "
+            "Expected shape: proper generators pass ~95%; Wallace-NSS fails."
+        ),
+    )

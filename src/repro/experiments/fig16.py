@@ -1,0 +1,88 @@
+"""Figs. 16/17 — FNN vs BNN accuracy and convergence with small data.
+
+The paper trains the 784-200-200-10 pair on fractions of MNIST from 1/256
+up to the full set (Fig. 16) and shows convergence curves (Fig. 17).  We
+sweep fractions of the synthetic digit set.  Expected shape: the BNN
+matches or beats the FNN, with the gap opening as data shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_digits_split
+from repro.experiments.common import render_table, scaled
+from repro.experiments.training import train_pair
+
+
+def run(
+    fractions: tuple[float, ...] | None = None,
+    base_train: int | None = None,
+    n_test: int | None = None,
+    seed: int = 0,
+    layer_sizes: tuple[int, ...] | None = None,
+    collect_histories: bool = False,
+) -> dict:
+    """Accuracy (and optionally convergence histories) per data fraction."""
+    base_train = base_train if base_train is not None else scaled(1024, 16_384)
+    n_test = n_test if n_test is not None else scaled(400, 2_000)
+    if fractions is None:
+        if scaled(0, 1):
+            fractions = (1 / 256, 1 / 64, 1 / 16, 1 / 4, 1.0)
+        else:
+            fractions = (1 / 32, 1 / 8, 1 / 2, 1.0)
+    if layer_sizes is None:
+        # Paper topology at full scale; a lighter net for the quick runs.
+        layer_sizes = (784, 200, 200, 10) if scaled(0, 1) else (784, 100, 10)
+    x_train, y_train, x_test, y_test = load_digits_split(base_train, n_test, seed=seed)
+    points = []
+    for fraction in fractions:
+        n = max(10, int(round(base_train * fraction)))
+        epochs = max(20, min(200, 6000 // n))
+        pair = train_pair(
+            layer_sizes,
+            x_train[:n],
+            y_train[:n],
+            x_test,
+            y_test,
+            epochs=epochs,
+            seed=seed,
+            dropout=0.0,  # Fig. 16 compares a plain FNN
+        )
+        point = {
+            "fraction": fraction,
+            "n_train": n,
+            "epochs": epochs,
+            "fnn_accuracy": pair.fnn_history.final_test_accuracy(),
+            "bnn_accuracy": pair.bnn_history.final_test_accuracy(),
+        }
+        if collect_histories:
+            point["fnn_history"] = pair.fnn_history
+            point["bnn_history"] = pair.bnn_history
+        points.append(point)
+    return {
+        "base_train": base_train,
+        "n_test": n_test,
+        "layer_sizes": layer_sizes,
+        "points": points,
+    }
+
+
+def render(result: dict) -> str:
+    rows = [
+        [
+            f"1/{round(1 / p['fraction'])}" if p["fraction"] < 1 else "1",
+            p["n_train"],
+            p["fnn_accuracy"],
+            p["bnn_accuracy"],
+            p["bnn_accuracy"] - p["fnn_accuracy"],
+        ]
+        for p in result["points"]
+    ]
+    return render_table(
+        "Fig. 16: FNN vs BNN test accuracy vs training-data fraction",
+        ["Fraction", "n_train", "FNN acc", "BNN acc", "BNN - FNN"],
+        rows,
+        note=(
+            f"Synthetic digits (MNIST substitute), topology {result['layer_sizes']}. "
+            "Expected shape: BNN >= FNN with the gap widening at small fractions."
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Fig. 18 — bit-length vs test accuracy (the §5.2 binary search).
+
+Trains one software BNN, then evaluates the fixed-point inference path at
+several operand widths.  The paper sets the acceptance threshold at 97.5%
+absolute (software float accuracy 98.1%); we use the equivalent relative
+criterion — within 0.6 percentage points of the float model — and report
+the smallest passing bit-length.  Expected shape: a cliff below 8 bits,
+with 8 the smallest acceptable width.
+"""
+
+from __future__ import annotations
+
+from repro.bnn import accuracy
+from repro.bnn.quantized import QuantizedBayesianNetwork
+from repro.datasets import load_digits_split
+from repro.experiments.common import render_table, scaled
+from repro.experiments.training import make_bnn
+from repro.bnn import Adam, Trainer
+from repro.experiments.common import BNN_TRAINING
+
+
+THRESHOLD_MARGIN = 0.006  # 98.1% -> 97.5% in the paper
+
+
+def run(
+    bit_lengths: tuple[int, ...] = (4, 5, 6, 7, 8, 10, 12, 16),
+    seed: int = 0,
+    n_samples: int = 20,
+) -> dict:
+    """Sweep operand width over the quantized inference path."""
+    n_train = scaled(1024, 8192)
+    n_test = scaled(400, 2000)
+    layer_sizes = (784, 200, 200, 10) if scaled(0, 1) else (784, 100, 10)
+    x_train, y_train, x_test, y_test = load_digits_split(n_train, n_test, seed=seed)
+    bnn = make_bnn(layer_sizes, seed=seed)
+    epochs = scaled(30, 60)
+    Trainer(
+        bnn, Adam(BNN_TRAINING["learning_rate"]), batch_size=32, epochs=epochs, seed=seed
+    ).fit(x_train, y_train)
+    float_accuracy = accuracy(bnn.predict(x_test, n_samples=n_samples), y_test)
+    threshold = float_accuracy - THRESHOLD_MARGIN
+    posterior = bnn.posterior_parameters()
+    points = []
+    for bits in bit_lengths:
+        quantized = QuantizedBayesianNetwork(posterior, bit_length=bits, seed=seed)
+        acc = accuracy(quantized.predict(x_test, n_samples=n_samples), y_test)
+        points.append({"bits": bits, "accuracy": acc, "passes": acc >= threshold})
+    passing = [p["bits"] for p in points if p["passes"]]
+    return {
+        "float_accuracy": float_accuracy,
+        "threshold": threshold,
+        "points": points,
+        "smallest_passing_bits": min(passing) if passing else None,
+    }
+
+
+def render(result: dict) -> str:
+    rows = [
+        [p["bits"], p["accuracy"], "yes" if p["passes"] else "no"]
+        for p in result["points"]
+    ]
+    return render_table(
+        "Fig. 18: Bit-length vs test accuracy",
+        ["Bit-length", "Accuracy", f">= threshold ({result['threshold']:.3f})"],
+        rows,
+        note=(
+            f"Float software BNN accuracy: {result['float_accuracy']:.4f}. "
+            f"Smallest passing bit-length: {result['smallest_passing_bits']} "
+            "(paper selects 8)."
+        ),
+    )

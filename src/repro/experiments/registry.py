@@ -1,0 +1,52 @@
+"""Name-based registry of every reproduced table and figure."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation_mc,
+    ablation_rlf,
+    ablation_wallace,
+    taxonomy,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "ablation-rlf": ablation_rlf,
+    "ablation-wallace": ablation_wallace,
+    "ablation-mc": ablation_mc,
+    "taxonomy": taxonomy,
+}
+
+
+def get_experiment(name: str) -> ModuleType:
+    """Look up an experiment module by id (e.g. ``"table1"``)."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None

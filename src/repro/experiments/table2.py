@@ -1,0 +1,44 @@
+"""Table 2 — hardware utilisation/performance of the two GRNGs (64 lanes)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import render_table
+from repro.hw.config import CYCLONE_V_ALMS, CYCLONE_V_MEMORY_BITS, CYCLONE_V_RAM_BLOCKS
+from repro.hw.resources import grng_resources
+
+PAPER = {
+    "rlf": dict(alms=831, registers=1780, memory_bits=16_384, ram_blocks=3, power_mw=528.69, fmax_mhz=212.95),
+    "bnnwallace": dict(alms=401, registers=1166, memory_bits=1_048_576, ram_blocks=103, power_mw=560.25, fmax_mhz=117.63),
+}
+
+
+def run(lanes: int = 64) -> dict:
+    """Model both GRNGs at the paper's 64-lane comparison point."""
+    reports = {kind: grng_resources(kind, lanes) for kind in ("rlf", "bnnwallace")}
+    return {"lanes": lanes, "reports": reports}
+
+
+def render(result: dict) -> str:
+    rows = []
+    metric_getters = [
+        ("Total ALMs", lambda r: r.alms, "alms"),
+        ("Total Registers", lambda r: r.registers, "registers"),
+        ("Total Block Memory Bits", lambda r: r.memory_bits, "memory_bits"),
+        ("Total RAM Blocks", lambda r: r.ram_blocks, "ram_blocks"),
+        ("Power (mW)", lambda r: round(r.power_mw, 2), "power_mw"),
+        ("Clock Frequency (MHz)", lambda r: r.fmax_mhz, "fmax_mhz"),
+    ]
+    rlf = result["reports"]["rlf"]
+    wal = result["reports"]["bnnwallace"]
+    for label, getter, key in metric_getters:
+        rows.append([label, getter(rlf), PAPER["rlf"][key], getter(wal), PAPER["bnnwallace"][key]])
+    return render_table(
+        f"Table 2: GRNG hardware comparison, {result['lanes']} parallel lanes",
+        ["Metric", "RLF (model)", "RLF (paper)", "Wallace (model)", "Wallace (paper)"],
+        rows,
+        note=(
+            f"Device: Cyclone V ({CYCLONE_V_ALMS} ALMs, {CYCLONE_V_MEMORY_BITS} "
+            f"memory bits, {CYCLONE_V_RAM_BLOCKS} RAM blocks). Model constants "
+            "calibrated to this table; see repro.hw.resources.CALIBRATION."
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Table 4 — FPGA resource utilisation of the two full network designs."""
+
+from __future__ import annotations
+
+from repro.experiments.common import render_table
+from repro.hw.config import ArchitectureConfig, CYCLONE_V_ALMS, CYCLONE_V_DSPS, CYCLONE_V_MEMORY_BITS
+from repro.hw.resources import full_design_resources
+
+PAPER = {
+    "rlf": dict(alms=98_006, registers=88_720, memory_bits=4_572_928, dsps=342),
+    "bnnwallace": dict(alms=91_126, registers=78_800, memory_bits=4_880_128, dsps=342),
+}
+
+
+def run(layer_sizes: tuple[int, ...] = (784, 200, 200, 10)) -> dict:
+    """Model both §6.4 design points (16 PE-sets x 8 PEs x 8 inputs)."""
+    reports = {
+        kind: full_design_resources(ArchitectureConfig.paper(kind), layer_sizes)
+        for kind in ("rlf", "bnnwallace")
+    }
+    return {"layer_sizes": layer_sizes, "reports": reports}
+
+
+def render(result: dict) -> str:
+    rlf = result["reports"]["rlf"]
+    wal = result["reports"]["bnnwallace"]
+    rows = [
+        ["Total ALMs", rlf.alms, PAPER["rlf"]["alms"], wal.alms, PAPER["bnnwallace"]["alms"]],
+        ["Total DSPs", rlf.dsps, PAPER["rlf"]["dsps"], wal.dsps, PAPER["bnnwallace"]["dsps"]],
+        ["Total Registers", rlf.registers, PAPER["rlf"]["registers"], wal.registers, PAPER["bnnwallace"]["registers"]],
+        ["Total Block Memory Bits", rlf.memory_bits, PAPER["rlf"]["memory_bits"], wal.memory_bits, PAPER["bnnwallace"]["memory_bits"]],
+        ["ALM utilisation", f"{rlf.alm_utilization:.1%}", "86.3%", f"{wal.alm_utilization:.1%}", "80.2%"],
+        ["Memory utilisation", f"{rlf.memory_utilization:.1%}", "36.6%", f"{wal.memory_utilization:.1%}", "39.1%"],
+    ]
+    return render_table(
+        f"Table 4: FPGA resource utilisation, network {result['layer_sizes']}",
+        ["Metric", "RLF (model)", "RLF (paper)", "Wallace (model)", "Wallace (paper)"],
+        rows,
+        note=(
+            f"Device: Cyclone V 5CGTFD9E5F35C7 ({CYCLONE_V_ALMS} ALMs, "
+            f"{CYCLONE_V_MEMORY_BITS} bits, {CYCLONE_V_DSPS} DSPs)."
+        ),
+    )

@@ -1,0 +1,93 @@
+"""Table 5 — throughput and energy efficiency on the MNIST-scale network.
+
+Four rows as in the paper:
+
+* CPU (Intel i7-6700k) — substituted by a *measured* NumPy BNN forward
+  pass on this host, with energy from an assumed 91 W package power
+  (documented substitution; the paper's absolute CPU/GPU numbers are not
+  reproducible off the authors' testbed);
+* GPU (Nvidia GTX 1070) — no GPU here, so the paper's reported value is
+  carried as a reference row;
+* both FPGA designs — the calibrated cycle/power models.
+
+Expected shape: FPGA >> GPU > CPU on images/s and images/J, with the
+RLF-based design the most energy-efficient.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.experiments.common import render_table, scaled
+from repro.hw.config import ArchitectureConfig
+from repro.hw.controller import schedule_network
+from repro.hw.resources import system_power_mw
+
+PAPER = {
+    "Intel i7-6700k": (10_478.1, 115.1),
+    "Nvidia GTX1070": (27_988.1, 186.6),
+    "RLF-based FPGA": (321_543.4, 52_694.8),
+    "BNNWallace-based FPGA": (321_543.4, 37_722.1),
+}
+
+CPU_PACKAGE_WATTS = 91.0  # i7-6700k TDP, used for the measured-CPU energy row
+
+
+def _measure_cpu_throughput(layer_sizes: tuple[int, ...], seconds: float) -> float:
+    """Measured single-sample BNN inference throughput of this host."""
+    network = BayesianNetwork(layer_sizes, seed=0)
+    batch = 64
+    x = np.random.default_rng(0).random((batch, layer_sizes[0]))
+    network.forward(x, sample=True)  # warm-up
+    images = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < seconds:
+        network.forward(x, sample=True)
+        images += batch
+    elapsed = time.perf_counter() - start
+    return images / elapsed
+
+
+def run(layer_sizes: tuple[int, ...] = (784, 200, 200, 10), measure_seconds: float | None = None) -> dict:
+    """Throughput/energy for all four Table 5 configurations."""
+    measure_seconds = (
+        measure_seconds if measure_seconds is not None else scaled(1.0, 5.0)
+    )
+    cpu_ips = _measure_cpu_throughput(layer_sizes, measure_seconds)
+    rows = {
+        "Intel i7-6700k (measured here)": (cpu_ips, cpu_ips / CPU_PACKAGE_WATTS),
+        "Nvidia GTX1070 (paper reference)": PAPER["Nvidia GTX1070"],
+    }
+    for kind, label in (("rlf", "RLF-based FPGA"), ("bnnwallace", "BNNWallace-based FPGA")):
+        config = ArchitectureConfig.paper(kind)
+        ips = schedule_network(config, layer_sizes).images_per_second()
+        watts = system_power_mw(config) / 1e3
+        rows[f"{label} (model)"] = (ips, ips / watts)
+    return {"layer_sizes": layer_sizes, "rows": rows}
+
+
+def render(result: dict) -> str:
+    table_rows = []
+    paper_by_prefix = {
+        "Intel": PAPER["Intel i7-6700k"],
+        "Nvidia": PAPER["Nvidia GTX1070"],
+        "RLF": PAPER["RLF-based FPGA"],
+        "BNNWallace": PAPER["BNNWallace-based FPGA"],
+    }
+    for label, (ips, ipj) in result["rows"].items():
+        prefix = label.split("-")[0].split(" ")[0]
+        paper_ips, paper_ipj = paper_by_prefix.get(prefix, ("-", "-"))
+        table_rows.append([label, ips, ipj, paper_ips, paper_ipj])
+    return render_table(
+        "Table 5: Throughput (images/s) and energy efficiency (images/J)",
+        ["Configuration", "img/s (ours)", "img/J (ours)", "img/s (paper)", "img/J (paper)"],
+        table_rows,
+        note=(
+            "CPU row measured on this host (NumPy), energy at an assumed "
+            f"{CPU_PACKAGE_WATTS:.0f} W package power; GPU row carried from the paper. "
+            "Expected shape: FPGA >> GPU > CPU in images/J; RLF design most efficient."
+        ),
+    )

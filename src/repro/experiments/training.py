@@ -1,0 +1,116 @@
+"""Shared model-training helpers for the accuracy experiments.
+
+All the accuracy tables/figures (Figs. 16-18, Tables 6-7) train the same
+trio of models — FNN(+dropout), software BNN, and the 8-bit hardware BNN —
+so the recipes live here, parameterised by topology and data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bnn import (
+    Adam,
+    BayesianNetwork,
+    FeedForwardNetwork,
+    Trainer,
+    accuracy,
+)
+from repro.bnn.priors import ScaleMixturePrior
+from repro.bnn.trainer import TrainingHistory
+from repro.experiments.common import BNN_TRAINING, FNN_TRAINING
+from repro.hw.accelerator import VibnnAccelerator
+from repro.hw.config import ArchitectureConfig
+
+
+@dataclass
+class TrainedPair:
+    """An FNN and a BNN trained on the same data, with their histories."""
+
+    fnn: FeedForwardNetwork
+    bnn: BayesianNetwork
+    fnn_history: TrainingHistory
+    bnn_history: TrainingHistory
+
+
+def make_bnn(layer_sizes: tuple[int, ...], seed: int = 0) -> BayesianNetwork:
+    """A BNN with the reproduction's tuned prior and initialisation."""
+    prior = ScaleMixturePrior(
+        pi=BNN_TRAINING["prior_pi"],
+        sigma1=BNN_TRAINING["prior_sigma1"],
+        sigma2=BNN_TRAINING["prior_sigma2"],
+    )
+    return BayesianNetwork(
+        layer_sizes,
+        prior=prior,
+        seed=seed,
+        initial_sigma=BNN_TRAINING["initial_sigma"],
+    )
+
+
+def train_pair(
+    layer_sizes: tuple[int, ...],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    epochs: int,
+    batch_size: int = 32,
+    seed: int = 0,
+    dropout: float | None = None,
+    eval_samples: int = 30,
+) -> TrainedPair:
+    """Train matched FNN and BNN models and record their histories.
+
+    The BNN gets ``epoch_multiplier`` times the FNN's epochs — the
+    reparameterised gradient is noisier, so equal-epoch comparisons
+    under-train it (tuning evidence in EXPERIMENTS.md).
+    """
+    dropout_rate = FNN_TRAINING["dropout"] if dropout is None else dropout
+    fnn = FeedForwardNetwork(layer_sizes, dropout=dropout_rate, seed=seed)
+    fnn_history = Trainer(
+        fnn,
+        Adam(FNN_TRAINING["learning_rate"]),
+        batch_size=min(batch_size, len(x_train)),
+        epochs=epochs,
+        seed=seed,
+    ).fit(x_train, y_train, x_test, y_test)
+    bnn = make_bnn(layer_sizes, seed=seed)
+    bnn_history = Trainer(
+        bnn,
+        Adam(BNN_TRAINING["learning_rate"]),
+        batch_size=min(batch_size, len(x_train)),
+        epochs=epochs * BNN_TRAINING["epoch_multiplier"],
+        seed=seed,
+    ).fit(x_train, y_train, x_test, y_test, eval_samples=eval_samples)
+    return TrainedPair(fnn=fnn, bnn=bnn, fnn_history=fnn_history, bnn_history=bnn_history)
+
+
+def hardware_accuracy(
+    bnn: BayesianNetwork,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    bit_length: int = 8,
+    grng_kind: str = "rlf",
+    n_samples: int = 30,
+    seed: int = 0,
+) -> float:
+    """Accuracy of the VIBNN accelerator model on the trained posterior.
+
+    Uses a small PE array for simulation speed — the *functional* result
+    is identical for any array shape; only cycle counts differ.
+    """
+    config = ArchitectureConfig(
+        pe_sets=2,
+        pes_per_set=4,
+        pe_inputs=4,
+        bit_length=bit_length,
+        grng_kind=grng_kind,
+    )
+    accelerator = VibnnAccelerator(config, bnn.posterior_parameters(), seed=seed)
+    result = accelerator.infer(x_test, n_samples=n_samples)
+    return accuracy(result.predictions, y_test)

@@ -1,0 +1,148 @@
+"""Signed Qm.n fixed-point format descriptor.
+
+A :class:`QFormat` describes a signed two's-complement representation with
+``integer_bits`` bits to the left of the binary point (excluding the sign)
+and ``frac_bits`` to the right.  Total width ``B = 1 + integer_bits +
+frac_bits`` matches the paper's operand bit-length ``B`` (8 or 16).
+
+The accelerator stores weights and activations as plain integers; the
+*value* represented is ``stored / 2**frac_bits``.  Quantization uses
+round-half-away-from-zero (what a hardware round-to-nearest adder tree
+produces) and saturates at the representable extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format ``Q<integer_bits>.<frac_bits>``.
+
+    Parameters
+    ----------
+    integer_bits:
+        Bits left of the binary point, excluding the sign bit.
+    frac_bits:
+        Bits right of the binary point.
+
+    Examples
+    --------
+    >>> q = QFormat(integer_bits=2, frac_bits=5)   # 8-bit total
+    >>> q.total_bits
+    8
+    >>> q.quantize(1.5)
+    48
+    >>> q.dequantize(48)
+    1.5
+    """
+
+    integer_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0:
+            raise ConfigurationError(
+                f"integer_bits must be >= 0, got {self.integer_bits}"
+            )
+        if self.frac_bits < 0:
+            raise ConfigurationError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.integer_bits + self.frac_bits == 0:
+            raise ConfigurationError("QFormat must have at least one value bit")
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total storage width including the sign bit (the paper's ``B``)."""
+        return 1 + self.integer_bits + self.frac_bits
+
+    @property
+    def scale(self) -> int:
+        """Integer units per 1.0 of real value (``2**frac_bits``)."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_int(self) -> int:
+        """Largest storable integer code."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_int(self) -> int:
+        """Smallest (most negative) storable integer code."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_int / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 1.0 / self.scale
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def quantize(self, values: "np.ndarray | float"):
+        """Real values -> integer codes, rounding to nearest, saturating.
+
+        Accepts scalars or arrays; returns ``int`` for scalars and an
+        ``int64`` array otherwise.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        scaled = arr * self.scale
+        # Round half away from zero, like a hardware rounder that adds
+        # 0.5 ulp before truncation of the magnitude.
+        rounded = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+        clipped = np.clip(rounded, self.min_int, self.max_int).astype(np.int64)
+        if np.isscalar(values) or arr.ndim == 0:
+            return int(clipped)
+        return clipped
+
+    def dequantize(self, codes: "np.ndarray | int"):
+        """Integer codes -> real values."""
+        arr = np.asarray(codes, dtype=np.float64) / self.scale
+        if np.isscalar(codes) or arr.ndim == 0:
+            return float(arr)
+        return arr
+
+    def roundtrip(self, values: "np.ndarray | float"):
+        """Quantize then dequantize — the value the hardware actually sees."""
+        return self.dequantize(self.quantize(values))
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` is inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_bit_length(cls, total_bits: int, integer_bits: int = 2) -> "QFormat":
+        """The format the bit-length study (Fig. 18) uses at width ``B``.
+
+        VIBNN keeps a fixed number of integer bits (activations and weight
+        samples stay within a few units for a trained, normalized network)
+        and gives every remaining bit to the fraction.
+        """
+        if total_bits < integer_bits + 2:
+            raise ConfigurationError(
+                f"total_bits={total_bits} too small for integer_bits={integer_bits}"
+            )
+        return cls(integer_bits=integer_bits, frac_bits=total_bits - 1 - integer_bits)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.integer_bits}.{self.frac_bits} ({self.total_bits}b)"

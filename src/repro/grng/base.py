@@ -1,0 +1,55 @@
+"""Common interface for Gaussian random number generators.
+
+Every generator produces *standardized* samples (target ``N(0, 1)``) from
+:meth:`Grng.generate`; hardware-oriented generators additionally expose
+their native integer codes via :meth:`Grng.generate_codes` so the
+fixed-point weight updater (:mod:`repro.hw.weight_generator`) can consume
+them without a float round trip.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Grng(ABC):
+    """Abstract Gaussian random number generator."""
+
+    @abstractmethod
+    def generate(self, count: int) -> np.ndarray:
+        """Return ``count`` samples targeting the standard normal."""
+
+    def generate_codes(self, count: int) -> np.ndarray:
+        """Native integer codes, for generators with a hardware datapath.
+
+        Generators without an integer datapath raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} has no integer code datapath"
+        )
+
+    @staticmethod
+    def _check_count(count: int) -> None:
+        if count < 0:
+            raise ConfigurationError(f"sample count must be >= 0, got {count}")
+
+
+class NumpyGrng(Grng):
+    """Ground-truth generator backed by NumPy's PCG64 — the "software" line.
+
+    Used as the reference distribution in quality tests and as the
+    initial-pool source for the Wallace generators (the paper seeds Wallace
+    pools from a software sampler as well).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        return self._rng.standard_normal(count)

@@ -1,0 +1,151 @@
+"""BNN-oriented Wallace GRNG (§4.2.2) and the Wallace-NSS ablation.
+
+Hardware Wallace has two classic drawbacks: the pool must be large (memory)
+and outputs correlate unless many transform passes are run (latency).  The
+paper's fix is **sharing and shifting**: ``N`` Wallace Units each own a
+small pool, and every generated quadruple is written back *one unit over*
+(unit ``i`` writes into unit ``i+1 mod N``'s pool).  Generated numbers
+therefore flow through all units, the small pools behave as one large pool
+(stability of ``(mu, sigma)``), and cross-unit mixing breaks the
+correlations — with *no* extra transform loops and no address-randomising
+RNG.
+
+:class:`WallaceNssGrng` is the paper's straw man ("hardware Wallace NSS"):
+one unit, sequential addressing, no sharing/shifting, no multi-loop.  Each
+pool slot group then evolves by repeatedly applying the same orthogonal
+matrix — a deterministic orbit — which is why Fig. 15 shows it failing
+every randomness test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+from repro.grng.wallace import hadamard_transform
+from repro.utils.seeding import spawn_generator
+
+
+class BnnWallaceGrng(Grng):
+    """The proposed hardware Wallace generator with sharing and shifting.
+
+    Parameters
+    ----------
+    units:
+        Number of Wallace Units operating in lockstep (the paper's
+        evaluation uses 8; with 64 parallel outputs, 16).
+    pool_size:
+        Gaussians per unit pool (paper: 256).  Must be a multiple of 4.
+    seed:
+        Seeds the initial pools (drawn from a software sampler, as in the
+        paper's setup).
+
+    Per cycle each unit reads four consecutive numbers from its own pool at
+    a shared address counter, applies eq. (13), emits the four results, and
+    writes them into the *next* unit's pool at the same addresses.  The
+    address phase advances by one every cycle, so consecutive passes over
+    the pool group different quadruples — without this the pass-to-pass
+    grouping repeats and the output stream carries a strong correlation at
+    the pool-pass lag (measured: lag-8192 autocorrelation 0.24 with a
+    wrap-only phase vs 0.01 with the per-cycle phase; see the quality
+    benches).  In hardware this is one extra increment on the shared
+    address counter.
+    """
+
+    def __init__(self, units: int = 8, pool_size: int = 256, seed: int = 0) -> None:
+        if units < 1:
+            raise ConfigurationError(f"units must be >= 1, got {units}")
+        if pool_size < 8 or pool_size % 4 != 0:
+            raise ConfigurationError(
+                f"pool_size must be a multiple of 4 and >= 8, got {pool_size}"
+            )
+        self.units = units
+        self.pool_size = pool_size
+        self.pools = spawn_generator(seed, "bnnwallace-pools").standard_normal(
+            (units, pool_size)
+        )
+        self._addr = 0
+        self._phase = 0
+
+    @property
+    def total_pool_size(self) -> int:
+        """Memory footprint in numbers — ``units * pool_size``.
+
+        The sharing scheme makes this behave like one pool of the same
+        total size, the source of the paper's "2X memory savings".
+        """
+        return self.units * self.pool_size
+
+    def _slots(self) -> np.ndarray:
+        """The four pool addresses every unit touches this cycle."""
+        base = self._addr + self._phase
+        return (base + np.arange(4)) % self.pool_size
+
+    def step(self) -> np.ndarray:
+        """One cycle: returns ``units * 4`` freshly generated numbers."""
+        slots = self._slots()
+        quads = self.pools[:, slots]                      # (units, 4) reads
+        generated = hadamard_transform(quads)             # eq. (13)
+        # Sharing and shifting: the concatenated output stream is shifted by
+        # ONE NUMBER before write-back, so each unit stores three of its own
+        # outputs plus one from its neighbour.  Quadruples are thereby split
+        # across units every cycle — the mixing that makes the small pools
+        # act as one large pool.
+        shifted = np.roll(generated.reshape(-1), 1).reshape(self.units, 4)
+        self.pools[:, slots] = shifted
+        self._addr += 4
+        if self._addr >= self.pool_size:
+            self._addr = 0
+        self._phase = (self._phase + 1) % self.pool_size
+        return generated.reshape(-1)
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        if count == 0:
+            return np.empty(0)
+        per_cycle = self.units * 4
+        cycles = -(-count // per_cycle)
+        out = np.empty(cycles * per_cycle)
+        for i in range(cycles):
+            out[i * per_cycle : (i + 1) * per_cycle] = self.step()
+        return out[:count]
+
+
+class WallaceNssGrng(Grng):
+    """Hardware Wallace with No Sharing and no Shifting — the ablation.
+
+    A single unit reads fixed, sequentially addressed quadruples and writes
+    the transforms back in place, with no multi-loop pass.  Slot group ``g``
+    then evolves as ``x_{k+1} = A x_k`` for the fixed orthogonal ``A`` of
+    eq. (13): a deterministic, norm-preserving orbit.  Output quality is
+    catastrophically bad (Fig. 15: passes no randomness tests), which is the
+    point of the ablation.
+    """
+
+    def __init__(self, pool_size: int = 256, seed: int = 0) -> None:
+        if pool_size < 8 or pool_size % 4 != 0:
+            raise ConfigurationError(
+                f"pool_size must be a multiple of 4 and >= 8, got {pool_size}"
+            )
+        self.pool_size = pool_size
+        self.pool = spawn_generator(seed, "wallace-nss-pool").standard_normal(pool_size)
+        self._addr = 0
+
+    def step(self) -> np.ndarray:
+        """One cycle: transform the next fixed quadruple in place."""
+        slots = np.arange(self._addr, self._addr + 4) % self.pool_size
+        generated = hadamard_transform(self.pool[slots])
+        self.pool[slots] = generated
+        self._addr = (self._addr + 4) % self.pool_size
+        return generated
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        if count == 0:
+            return np.empty(0)
+        cycles = -(-count // 4)
+        out = np.empty(cycles * 4)
+        for i in range(cycles):
+            out[i * 4 : (i + 1) * 4] = self.step()
+        return out[:count]

@@ -1,0 +1,36 @@
+"""Box–Muller GRNG — the classic transformation-method baseline (§2.3).
+
+Included for the GRNG comparison benches: exact marginals, but requires
+``log``/``sqrt``/``cos`` evaluations per sample, which is what makes it
+expensive in FPGA logic compared with the paper's two designs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grng.base import Grng
+from repro.utils.seeding import spawn_generator
+
+
+class BoxMullerGrng(Grng):
+    """Basic (trigonometric) Box–Muller transform over a uniform source."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = spawn_generator(seed, "box-muller")
+        self._spare: float | None = None
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        pairs = (count + 1) // 2
+        u1 = self._rng.random(pairs)
+        u2 = self._rng.random(pairs)
+        # Guard u1 == 0: log(0) is -inf; the uniform source is half-open on
+        # [0, 1) so 0 can occur.
+        u1 = np.clip(u1, np.finfo(np.float64).tiny, None)
+        radius = np.sqrt(-2.0 * np.log(u1))
+        angle = 2.0 * np.pi * u2
+        samples = np.empty(pairs * 2)
+        samples[0::2] = radius * np.cos(angle)
+        samples[1::2] = radius * np.sin(angle)
+        return samples[:count]

@@ -1,0 +1,29 @@
+"""CDF-inversion GRNG — §2.3 category 1 baseline.
+
+Applies the inverse normal CDF (``scipy.special.ndtri``, the
+Beasley–Springer / Wichura style approximation the paper cites as [7, 37])
+to a uniform stream.  Exact marginals; in hardware this costs a large
+piecewise-polynomial evaluator, which is why the paper rejects it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.grng.base import Grng
+from repro.utils.seeding import spawn_generator
+
+
+class CdfInversionGrng(Grng):
+    """Inverse-CDF transform of a uniform source."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = spawn_generator(seed, "cdf-inversion")
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        uniforms = self._rng.random(count)
+        # Keep strictly inside (0, 1): ndtri(0) is -inf.
+        tiny = np.finfo(np.float64).tiny
+        return ndtri(np.clip(uniforms, tiny, 1.0 - 1e-16))

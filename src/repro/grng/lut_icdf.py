@@ -1,0 +1,77 @@
+"""LUT-based inverse-CDF GRNG — the hardware form of §2.3 category 1.
+
+A hardware CDF-inversion generator stores the inverse normal CDF in a
+segmented lookup table and interpolates: the uniform input's high bits
+select a segment, the low bits interpolate linearly inside it.  Included
+as the hardware-honest representative of the method the paper *rejects*
+(the table plus interpolator cost grows quickly with tail accuracy),
+so the GRNG comparison benches can show the trade-off quantitatively.
+
+The table covers ``(2**-precision, 0.5]`` and symmetry supplies the other
+half; segments are uniform in probability, which concentrates error in
+the tail — the classic weakness this construction has on hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtri
+
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+from repro.rng.parallel_counter import ParallelCounter
+from repro.utils.seeding import spawn_generator
+
+
+class LutIcdfGrng(Grng):
+    """Piecewise-linear inverse-CDF generator with a ``segments``-entry LUT.
+
+    Parameters
+    ----------
+    segments:
+        Table entries per half (power of two); the paper-era hardware
+        designs it alludes to use 64-1024.
+    seed:
+        Seeds the uniform source (modelled ideal; an LFSR source via
+        :class:`repro.rng.uniform.LfsrUniformSource` behaves identically
+        at these widths).
+    """
+
+    def __init__(self, segments: int = 256, seed: int = 0) -> None:
+        if segments < 8 or segments & (segments - 1):
+            raise ConfigurationError(
+                f"segments must be a power of two >= 8, got {segments}"
+            )
+        self.segments = segments
+        self._rng = spawn_generator(seed, "lut-icdf")
+        # Table of ICDF values at segment edges over (0, 0.5].
+        edges = np.linspace(0.0, 0.5, segments + 1)
+        edges[0] = 0.5 / segments / 64.0  # avoid the -inf endpoint
+        self._table = ndtri(edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def table_bits(self) -> int:
+        """ROM cost: entries x 16-bit fixed-point words (one half-table)."""
+        return (self.segments + 1) * 16
+
+    @property
+    def interpolator_adders(self) -> int:
+        """Datapath cost: one multiply-accumulate per sample plus the
+        segment-select compare tree (modelled as a small adder count)."""
+        return 2 + ParallelCounter(self.segments).output_bits
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        uniforms = self._rng.random(count)
+        # Fold onto (0, 0.5]; the table value is ICDF(folded) <= 0, and the
+        # upper half mirrors by symmetry: ICDF(u) = -ICDF(1 - u).
+        mirror = np.where(uniforms < 0.5, 1.0, -1.0)
+        folded = np.where(uniforms < 0.5, uniforms, 1.0 - uniforms)
+        folded = np.clip(folded, 1e-12, 0.5)
+        position = folded * 2.0 * self.segments  # in [0, segments]
+        index = np.minimum(position.astype(np.int64), self.segments - 1)
+        fraction = position - index
+        low = self._table[index]
+        high = self._table[index + 1]
+        return mirror * (low + (high - low) * fraction)

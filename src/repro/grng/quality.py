@@ -1,0 +1,151 @@
+"""Statistical quality metrics for GRNG outputs (Table 1 / Fig. 15).
+
+* :func:`stability_error` — the Table 1 metric: absolute errors of the
+  empirical mean and standard deviation against the ``N(0, 1)`` target.
+* :func:`runs_test` — Wald–Wolfowitz runs test of randomness around the
+  median, the same statistic as Matlab's ``runstest`` used in Fig. 15
+  (normal approximation, two-sided, pass at ``p >= 0.05``).
+* :func:`pass_rate` — repeats a test over many independent generator
+  instances and reports the pass fraction, the Fig. 15 y-axis.
+* :func:`ks_normal`, :func:`chi_square_normal`, :func:`autocorrelation` —
+  additional checks used by the extended quality benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Table 1 row: absolute mean and standard-deviation errors."""
+
+    mu_error: float
+    sigma_error: float
+    sample_count: int
+
+
+def stability_error(samples: np.ndarray, target_mu: float = 0.0, target_sigma: float = 1.0) -> StabilityResult:
+    """Absolute error of the empirical (mu, sigma) against the target."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size < 2:
+        raise ConfigurationError("stability_error needs at least 2 samples")
+    return StabilityResult(
+        mu_error=abs(float(samples.mean()) - target_mu),
+        sigma_error=abs(float(samples.std(ddof=1)) - target_sigma),
+        sample_count=samples.size,
+    )
+
+
+@dataclass(frozen=True)
+class RunsTestResult:
+    """Wald–Wolfowitz runs-test outcome."""
+
+    runs: int
+    n_above: int
+    n_below: int
+    z_statistic: float
+    p_value: float
+
+    def passed(self, alpha: float = 0.05) -> bool:
+        """Whether the sequence is consistent with randomness at ``alpha``."""
+        return self.p_value >= alpha
+
+
+def runs_test(samples: np.ndarray) -> RunsTestResult:
+    """Runs test of randomness around the median (Matlab ``runstest``).
+
+    Values equal to the median are discarded (Matlab's default).  The run
+    count is compared with its null mean ``2 n1 n0 / n + 1`` using the
+    normal approximation.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    median = np.median(samples)
+    signs = samples[samples != median] > median
+    n = signs.size
+    if n < 10:
+        raise ConfigurationError(f"runs test needs >= 10 usable samples, got {n}")
+    n1 = int(signs.sum())
+    n0 = n - n1
+    if n1 == 0 or n0 == 0:
+        # Degenerate: all on one side; maximally non-random.
+        return RunsTestResult(runs=1, n_above=n1, n_below=n0, z_statistic=-math.inf, p_value=0.0)
+    runs = 1 + int(np.count_nonzero(signs[1:] != signs[:-1]))
+    mean_runs = 2.0 * n1 * n0 / n + 1.0
+    var_runs = 2.0 * n1 * n0 * (2.0 * n1 * n0 - n) / (n * n * (n - 1.0))
+    if var_runs <= 0:
+        return RunsTestResult(runs=runs, n_above=n1, n_below=n0, z_statistic=0.0, p_value=1.0)
+    z = (runs - mean_runs) / math.sqrt(var_runs)
+    p = 2.0 * (1.0 - stats.norm.cdf(abs(z)))
+    return RunsTestResult(runs=runs, n_above=n1, n_below=n0, z_statistic=float(z), p_value=float(p))
+
+
+def ks_normal(samples: np.ndarray) -> tuple[float, float]:
+    """Kolmogorov–Smirnov statistic and p-value against ``N(0, 1)``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    statistic, p_value = stats.kstest(samples, "norm")
+    return float(statistic), float(p_value)
+
+
+def chi_square_normal(samples: np.ndarray, bins: int = 32) -> tuple[float, float]:
+    """Chi-square goodness of fit against ``N(0, 1)`` with equiprobable bins.
+
+    Discrete hardware codes (e.g. the RLF's 8-bit popcounts) quantize the
+    real line, so use generous bin widths when testing them.
+    """
+    if bins < 4:
+        raise ConfigurationError(f"bins must be >= 4, got {bins}")
+    samples = np.asarray(samples, dtype=np.float64)
+    edges = stats.norm.ppf(np.linspace(0.0, 1.0, bins + 1))
+    observed, _ = np.histogram(samples, bins=edges)
+    expected = samples.size / bins
+    statistic = float(((observed - expected) ** 2 / expected).sum())
+    p_value = float(stats.chi2.sf(statistic, df=bins - 1))
+    return statistic, p_value
+
+
+def autocorrelation(samples: np.ndarray, lag: int = 1) -> float:
+    """Lag-``lag`` sample autocorrelation coefficient."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if lag < 1 or lag >= samples.size:
+        raise ConfigurationError(f"lag must be in 1..{samples.size - 1}, got {lag}")
+    centered = samples - samples.mean()
+    denom = float((centered**2).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((centered[:-lag] * centered[lag:]).sum() / denom)
+
+
+def pass_rate(
+    grng_factory: Callable[[int], Grng],
+    trials: int,
+    samples_per_trial: int,
+    test: Callable[[np.ndarray], bool] | None = None,
+    *,
+    base_seed: int = 0,
+) -> float:
+    """Fraction of independent trials passing a randomness test (Fig. 15).
+
+    ``grng_factory(seed)`` must return a fresh generator; each trial draws
+    ``samples_per_trial`` numbers and applies ``test`` (default: the runs
+    test at alpha 0.05).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if test is None:
+        test = lambda s: runs_test(s).passed()  # noqa: E731 - tiny default
+    passes = 0
+    for trial in range(trials):
+        generator = grng_factory(trial)
+        samples = generator.generate(samples_per_trial)
+        if test(samples):
+            passes += 1
+    return passes / trials

@@ -1,0 +1,125 @@
+"""Ziggurat GRNG — §2.3 category 3 (rejection method) baseline.
+
+Marsaglia & Tsang's ziggurat (the paper's ref. [35]): the standard-normal
+density is covered by ``n`` horizontal rectangles of equal area; most
+samples need one table lookup, one multiply and one compare, with rare
+fallbacks to the wedge and the tail.  Included as the rejection-method
+representative in the GRNG comparison benches — rejection's variable
+latency is what disqualifies it for the paper's fixed-pipeline hardware.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+from repro.utils.seeding import spawn_generator
+
+
+def _build_tables(layers: int) -> tuple[np.ndarray, np.ndarray]:
+    """Solve for the ziggurat layer coordinates ``x_i`` and heights ``y_i``.
+
+    Uses the standard bisection on ``r`` (the base-layer x) so that the
+    layers exactly tile the density.  Only ``layers == 128`` or ``256`` are
+    commonly used; any power of two >= 8 works here.
+    """
+
+    def f(x: float) -> float:
+        return math.exp(-0.5 * x * x)
+
+    def f_inv(y: float) -> float:
+        return math.sqrt(-2.0 * math.log(y))
+
+    def tail_area(r: float) -> float:
+        # Area of the unnormalized tail: integral_r^inf exp(-x^2/2) dx
+        return math.sqrt(math.pi / 2.0) * math.erfc(r / math.sqrt(2.0))
+
+    def build(r: float) -> tuple[np.ndarray, np.ndarray, float]:
+        v = r * f(r) + tail_area(r)
+        x = np.empty(layers + 1)
+        x[0] = r
+        y_prev = f(r)
+        for i in range(1, layers):
+            y_i = y_prev + v / x[i - 1]
+            if y_i >= 1.0:
+                # r too large: layers run out of density before the mode.
+                return x, np.empty(0), y_i
+            x[i] = f_inv(y_i)
+            y_prev = y_i
+        x[layers] = 0.0
+        return x, np.array([f(xi) for xi in x[:-1]]), y_prev + v / x[layers - 1]
+
+    low, high = 1.0, 10.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        _, _, top = build(mid)
+        if top > 1.0:
+            low = mid
+        else:
+            high = mid
+    x, y, _ = build(high)
+    if y.size == 0:
+        raise ConfigurationError(f"ziggurat table failed to converge for {layers} layers")
+    return x, y
+
+
+class ZigguratGrng(Grng):
+    """Marsaglia–Tsang ziggurat with ``layers`` rectangles (default 256)."""
+
+    _table_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def __init__(self, seed: int = 0, layers: int = 256) -> None:
+        if layers < 8 or layers & (layers - 1):
+            raise ConfigurationError(
+                f"layers must be a power of two >= 8, got {layers}"
+            )
+        self.layers = layers
+        if layers not in self._table_cache:
+            self._table_cache[layers] = _build_tables(layers)
+        self._x, self._y = self._table_cache[layers]
+        self._rng = spawn_generator(seed, "ziggurat")
+        #: Fraction of candidate draws accepted without fallback (observable
+        #: for the rejection-latency discussion in the benches).
+        self.fast_path_hits = 0
+        self.total_draws = 0
+
+    def _tail_sample(self, r: float) -> float:
+        # Marsaglia's tail algorithm for |x| > r.
+        while True:
+            u1 = self._rng.random()
+            u2 = self._rng.random()
+            u1 = max(u1, np.finfo(np.float64).tiny)
+            u2 = max(u2, np.finfo(np.float64).tiny)
+            x = -math.log(u1) / r
+            y = -math.log(u2)
+            if 2.0 * y > x * x:
+                return r + x
+
+    def _one(self) -> float:
+        x_tab, y_tab = self._x, self._y
+        r = x_tab[0]
+        while True:
+            self.total_draws += 1
+            layer = int(self._rng.integers(0, self.layers))
+            u = 2.0 * self._rng.random() - 1.0
+            candidate = u * x_tab[layer]
+            if abs(candidate) < x_tab[layer + 1]:
+                self.fast_path_hits += 1
+                return candidate
+            if layer == 0:
+                tail = self._tail_sample(r)
+                return tail if u > 0 else -tail
+            # Wedge: layer i spans heights [f(x_i), f(x_{i+1})); the topmost
+            # layer is capped by the mode value f(0) = 1.
+            y_low = y_tab[layer]
+            y_high = y_tab[layer + 1] if layer + 1 < self.layers else 1.0
+            y = y_low + (y_high - y_low) * self._rng.random()
+            if y < math.exp(-0.5 * candidate * candidate):
+                return candidate
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        return np.fromiter((self._one() for _ in range(count)), dtype=np.float64, count=count)

@@ -1,0 +1,281 @@
+"""The assembled VIBNN accelerator (Fig. 2).
+
+Two simulation fidelities, sharing one datapath definition:
+
+* **Vectorised functional path** — a
+  :class:`~repro.bnn.quantized.QuantizedBayesianNetwork` built from the
+  configuration's fixed-point format and GRNG, plus the cycle/resource
+  models.  This is what the throughput/accuracy experiments run.
+* **Detailed datapath path** (:class:`DetailedDatapathSimulator`) — drives
+  the actual :class:`~repro.hw.pe.PeSet`, packed
+  :class:`~repro.hw.memory.DualPortRam` IFMem/WPMem models word by word,
+  checking the two-port budgets every cycle.  The tests assert it produces
+  bit-identical activations to the vectorised path given the same sampled
+  weights — the functional-equivalence proof that the architecture of §5
+  really computes eq. (6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bnn.quantized import QuantizedBayesianNetwork
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+from repro.grng.bnnwallace import BnnWallaceGrng
+from repro.grng.rlf import ParallelRlfGrng
+from repro.hw.config import ArchitectureConfig
+from repro.hw.controller import NetworkSchedule, schedule_network
+from repro.hw.memory import DoubleBufferedMemory, WeightParameterMemory
+from repro.hw.packing import pack_word, unpack_word
+from repro.hw.pe import PeSet
+from repro.hw.resources import full_design_resources, system_clock_mhz, system_power_mw
+from repro.utils.validation import check_positive
+
+
+def default_grng(config: ArchitectureConfig, seed: int = 0) -> Grng:
+    """The GRNG a design point instantiates (one lane per weight lane)."""
+    lanes = config.weights_per_cycle
+    if config.grng_kind == "rlf":
+        return ParallelRlfGrng(lanes=lanes, seed=seed)
+    return BnnWallaceGrng(units=max(1, lanes // 4), pool_size=256, seed=seed)
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Output of an accelerator inference run with performance accounting."""
+
+    probabilities: np.ndarray
+    predictions: np.ndarray
+    n_images: int
+    n_samples: int
+    cycles: int
+    seconds: float
+    images_per_second: float
+    joules: float
+    images_per_joule: float
+
+
+class VibnnAccelerator:
+    """Cycle/energy-accounted fixed-point BNN inference engine.
+
+    Parameters
+    ----------
+    config:
+        The design point; ``ArchitectureConfig.paper()`` reproduces §6.4.
+    posterior:
+        Trained ``(mu, sigma)`` parameters from
+        :meth:`repro.bnn.bayesian.BayesianNetwork.posterior_parameters`.
+    seed:
+        Seeds the on-chip GRNG.
+    grng:
+        Optional explicit epsilon source (overrides ``config.grng_kind``).
+    """
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        posterior: list[dict[str, np.ndarray]],
+        seed: int = 0,
+        grng: Grng | None = None,
+    ) -> None:
+        self.config = config
+        self.grng = grng if grng is not None else default_grng(config, seed)
+        self.network = QuantizedBayesianNetwork(
+            posterior, bit_length=config.bit_length, grng=self.grng, seed=seed
+        )
+        self.schedule: NetworkSchedule = schedule_network(
+            config, self.network.layer_sizes
+        )
+        self.clock_mhz = system_clock_mhz(config)
+        self.power_mw = system_power_mw(config)
+
+    # ------------------------------------------------------------------
+    @property
+    def layer_sizes(self) -> tuple[int, ...]:
+        return self.network.layer_sizes
+
+    def resource_report(self):
+        """Table-4 style resource summary for this design point."""
+        return full_design_resources(self.config, self.layer_sizes)
+
+    def infer(self, x: np.ndarray, n_samples: int = 1) -> InferenceResult:
+        """Run MC inference and account cycles, time and energy."""
+        check_positive("n_samples", n_samples)
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ConfigurationError(f"x must be 2-D (batch, features), got {x.shape}")
+        probabilities = self.network.predict_proba(x, n_samples=n_samples)
+        predictions = probabilities.argmax(axis=1)
+        cycles = self.schedule.cycles_per_image(n_samples) * x.shape[0]
+        seconds = cycles / (self.clock_mhz * 1e6)
+        joules = seconds * self.power_mw / 1e3
+        return InferenceResult(
+            probabilities=probabilities,
+            predictions=predictions,
+            n_images=x.shape[0],
+            n_samples=n_samples,
+            cycles=cycles,
+            seconds=seconds,
+            images_per_second=x.shape[0] / seconds,
+            joules=joules,
+            images_per_joule=x.shape[0] / joules if joules > 0 else math.inf,
+        )
+
+    def images_per_second(self, n_samples: int = 1) -> float:
+        """Steady-state throughput (Table 5's metric)."""
+        return self.schedule.images_per_second(n_samples)
+
+    def images_per_joule(self, n_samples: int = 1) -> float:
+        """Energy efficiency (Table 5's metric)."""
+        return self.images_per_second(n_samples) / (self.power_mw / 1e3)
+
+
+class DetailedDatapathSimulator:
+    """Word-by-word simulation of one layer on the PE array (Fig. 13).
+
+    Drives packed IFMem words through PE-sets against distributed WPMems,
+    enforcing every memory's two-port budget.  Used by tests and the
+    pipeline example; sampled weights are supplied explicitly so results
+    can be compared bit for bit with the vectorised datapath.
+    """
+
+    def __init__(self, config: ArchitectureConfig) -> None:
+        self.config = config
+        self.weight_fmt = config.weight_format
+        self.act_fmt = config.activation_format
+        self.pe_sets = [
+            PeSet(config.pes_per_set, config.pe_inputs, self.weight_fmt, self.act_fmt)
+            for _ in range(config.pe_sets)
+        ]
+        self.cycles = 0
+
+    def run_layer(
+        self,
+        feature_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        bias_codes: np.ndarray,
+        *,
+        apply_relu: bool,
+    ) -> np.ndarray:
+        """Compute one layer's activations for one image.
+
+        ``feature_codes``: ``(in,)`` activation-format codes;
+        ``weight_codes``: ``(in, out)`` weight-format codes;
+        ``bias_codes``: ``(out,)`` codes at the accumulator precision
+        (``frac_w + frac_a`` fractional bits), as produced by the
+        quantized network's weight updater.  Returns ``(out,)``
+        activation codes.
+        """
+        config = self.config
+        in_features = feature_codes.shape[0]
+        out_features = bias_codes.shape[0]
+        if weight_codes.shape != (in_features, out_features):
+            raise ConfigurationError(
+                f"weight shape {weight_codes.shape} does not match "
+                f"({in_features}, {out_features})"
+            )
+        n = config.pe_inputs
+        m = config.total_pes
+        iterations = math.ceil(in_features / n)
+        groups = math.ceil(out_features / m)
+        # Note: the write-back *throughput* constraint (T <= ceil(In/N)) is
+        # checked by schedule_network; functionally this simulator serialises
+        # the distributor writes, so any shape computes correctly here.
+        # IFMem preload: one packed word per iteration chunk.
+        ifmem = DoubleBufferedMemory(
+            depth=max(iterations, groups * config.pe_sets),
+            width_bits=config.ifmem_word_bits,
+        )
+        padded_in = iterations * n
+        padded_features = np.zeros(padded_in, dtype=np.int64)
+        padded_features[:in_features] = feature_codes
+        words = [
+            pack_word(padded_features[a * n : (a + 1) * n], config.bit_length)
+            for a in range(iterations)
+        ]
+        ifmem.read_buffer.load(np.array(words, dtype=object))
+        # WPMem preload: per set, per group, per iteration one packed word of
+        # S * N weight codes (pre-sampled — the weight generator output).
+        wpmem = WeightParameterMemory(
+            pe_sets=config.pe_sets,
+            depth=max(1, groups * iterations),
+            word_bits=config.wpmem_word_bits,
+        )
+        padded_weights = np.zeros((padded_in, groups * m), dtype=np.int64)
+        padded_weights[:in_features, :out_features] = weight_codes
+        for set_index in range(config.pe_sets):
+            set_words = []
+            for group in range(groups):
+                neuron_base = group * m + set_index * config.pes_per_set
+                for iteration in range(iterations):
+                    block = padded_weights[
+                        iteration * n : (iteration + 1) * n,
+                        neuron_base : neuron_base + config.pes_per_set,
+                    ]
+                    # Word layout: S PEs x N inputs, PE-major.
+                    set_words.append(
+                        pack_word(block.T.reshape(-1), config.bit_length)
+                    )
+            wpmem.load_set(set_index, set_words)
+        padded_bias = np.zeros(groups * m, dtype=np.int64)
+        padded_bias[:out_features] = bias_codes
+        # ------------------------------------------------------------------
+        outputs = np.zeros(groups * m, dtype=np.int64)
+        for group in range(groups):
+            for pe_set in self.pe_sets:
+                pe_set.reset()
+            for iteration in range(iterations):
+                word = ifmem.read_buffer.read(iteration)
+                features = unpack_word(word, config.bit_length, n)
+                for set_index, pe_set in enumerate(self.pe_sets):
+                    packed = wpmem.read_set_word(
+                        set_index, group * iterations + iteration
+                    )
+                    weights = unpack_word(
+                        packed, config.bit_length, config.pes_per_set * n
+                    ).reshape(config.pes_per_set, n)
+                    pe_set.accumulate(weights, features)
+                ifmem.tick()
+                wpmem.tick()
+                self.cycles += 1
+            for set_index, pe_set in enumerate(self.pe_sets):
+                neuron_base = group * m + set_index * config.pes_per_set
+                biases = padded_bias[
+                    neuron_base : neuron_base + config.pes_per_set
+                ]
+                activations = pe_set.finish(biases, apply_relu=apply_relu)
+                outputs[neuron_base : neuron_base + config.pes_per_set] = activations
+                # Memory distributor: one packed word per set to the write
+                # buffer (one write port per cycle).
+                ifmem.write_buffer.write(
+                    group * config.pe_sets + set_index,
+                    pack_word(activations, config.bit_length),
+                )
+                ifmem.tick()
+                wpmem.tick()
+                self.cycles += 1
+        return outputs[:out_features]
+
+    def run_network(
+        self,
+        feature_codes: np.ndarray,
+        sampled_layers: list[tuple[np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Run all layers for one image given pre-sampled weight codes.
+
+        ``sampled_layers`` is a list of ``(weight_codes, bias_codes)``; ReLU
+        applies to every layer except the last (§5.1's PE activation).
+        """
+        if not sampled_layers:
+            raise ConfigurationError("no layers supplied")
+        hidden = np.asarray(feature_codes, dtype=np.int64)
+        last = len(sampled_layers) - 1
+        for index, (weights, biases) in enumerate(sampled_layers):
+            hidden = self.run_layer(
+                hidden, weights, biases, apply_relu=(index != last)
+            )
+        return hidden

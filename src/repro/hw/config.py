@@ -1,0 +1,143 @@
+"""Architecture configuration and the joint PE/memory constraints (§5.4).
+
+The design is parameterised by the paper's four knobs:
+
+* ``T``  — number of PE-sets,
+* ``S``  — PEs per set (eq. 14c/15c requires ``S == N``),
+* ``N``  — inputs per PE,
+* ``B``  — operand bit-length,
+
+with ``M = T * S`` total PEs (eq. 14d/15d).  Memory feasibility:
+
+* IFMem word width ``B * N <= MaxWS``              (eq. 14b)
+* per-set WPMem word width ``B * N * S <= MaxWS``  (eq. 15b)
+
+Write-back feasibility: all ``M`` PE outputs of a pass form ``T`` IFMem
+words, which must drain through the single IFMem write port during the
+``ceil(MinIn / N)`` cycles of the next accumulation pass, i.e.
+``T <= ceil(MinIn / N)``.  (The paper prints this constraint as
+``T x S < ceil(MinIn / N)`` in eqs. 14a/15a, which its own 16x8x8 design
+point on the 784-200-200-10 network would violate — ``128 < 25`` is false —
+so we implement the write-port form, which that design point satisfies:
+``16 <= 25``.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat
+
+#: Cyclone V 5CGTFD9E5F35C7 device limits used throughout (Table 2/4).
+CYCLONE_V_ALMS = 113_560
+CYCLONE_V_MEMORY_BITS = 12_492_800
+CYCLONE_V_RAM_BLOCKS = 1_220
+CYCLONE_V_DSPS = 342
+M10K_BITS = 10_240
+
+#: Default maximum on-chip memory word size in bits (§5.4's MaxWS).
+DEFAULT_MAX_WORD_SIZE = 1_024
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """One VIBNN design point.
+
+    The paper's evaluated configuration is ``ArchitectureConfig.paper()``:
+    16 PE-sets of eight 8-input PEs at 8-bit precision (§6.4).
+    """
+
+    pe_sets: int = 16                 # T
+    pes_per_set: int = 8              # S
+    pe_inputs: int = 8                # N
+    bit_length: int = 8               # B
+    max_word_size: int = DEFAULT_MAX_WORD_SIZE
+    clock_mhz: float = 100.0
+    grng_kind: str = "rlf"            # "rlf" or "bnnwallace"
+
+    def __post_init__(self) -> None:
+        if self.pe_sets < 1:
+            raise ConfigurationError(f"pe_sets must be >= 1, got {self.pe_sets}")
+        if self.pes_per_set < 1:
+            raise ConfigurationError(
+                f"pes_per_set must be >= 1, got {self.pes_per_set}"
+            )
+        if self.pes_per_set != self.pe_inputs:
+            raise ConfigurationError(
+                f"eq. (14c) requires S == N, got S={self.pes_per_set}, N={self.pe_inputs}"
+            )
+        if self.bit_length < 4 or self.bit_length > 32:
+            raise ConfigurationError(
+                f"bit_length must be in 4..32, got {self.bit_length}"
+            )
+        if self.grng_kind not in ("rlf", "bnnwallace"):
+            raise ConfigurationError(
+                f"grng_kind must be 'rlf' or 'bnnwallace', got {self.grng_kind!r}"
+            )
+        if self.clock_mhz <= 0:
+            raise ConfigurationError(f"clock_mhz must be > 0, got {self.clock_mhz}")
+        if self.ifmem_word_bits > self.max_word_size:
+            raise ConfigurationError(
+                f"eq. (14b) violated: B*N = {self.ifmem_word_bits} > MaxWS = {self.max_word_size}"
+            )
+        if self.wpmem_word_bits > self.max_word_size:
+            raise ConfigurationError(
+                f"eq. (15b) violated: B*N*S = {self.wpmem_word_bits} > MaxWS = {self.max_word_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        """``M = T * S`` (eq. 14d)."""
+        return self.pe_sets * self.pes_per_set
+
+    @property
+    def ifmem_word_bits(self) -> int:
+        """IFMem word width ``B * N`` — one access feeds every PE."""
+        return self.bit_length * self.pe_inputs
+
+    @property
+    def wpmem_word_bits(self) -> int:
+        """Per-set WPMem word width ``B * N * S`` (§5.4.2)."""
+        return self.bit_length * self.pe_inputs * self.pes_per_set
+
+    @property
+    def weights_per_cycle(self) -> int:
+        """Gaussian samples the weight generator must supply per cycle."""
+        return self.total_pes * self.pe_inputs
+
+    @property
+    def weight_format(self) -> QFormat:
+        """Weight operand format ``Q0.(B-1)`` (see repro.bnn.quantized)."""
+        from repro.bnn.quantized import weight_format
+
+        return weight_format(self.bit_length)
+
+    @property
+    def activation_format(self) -> QFormat:
+        """Activation operand format ``Q3.(B-4)``."""
+        from repro.bnn.quantized import activation_format
+
+        return activation_format(self.bit_length)
+
+    # ------------------------------------------------------------------
+    def writeback_feasible(self, min_layer_input: int) -> bool:
+        """Write-port form of eqs. (14a)/(15a): ``T <= ceil(MinIn / N)``."""
+        if min_layer_input < 1:
+            raise ConfigurationError(
+                f"min_layer_input must be >= 1, got {min_layer_input}"
+            )
+        return self.pe_sets <= math.ceil(min_layer_input / self.pe_inputs)
+
+    @classmethod
+    def paper(cls, grng_kind: str = "rlf") -> "ArchitectureConfig":
+        """The evaluated §6.4 design point (16 sets x 8 PEs x 8 inputs, 8-bit)."""
+        return cls(
+            pe_sets=16,
+            pes_per_set=8,
+            pe_inputs=8,
+            bit_length=8,
+            grng_kind=grng_kind,
+        )

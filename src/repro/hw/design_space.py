@@ -1,0 +1,98 @@
+"""Design-space exploration under the §5.4 joint constraints.
+
+Enumerates design points ``(T, S=N, B)`` that satisfy the memory word-size
+constraints (eqs. 14b/15b), the write-back constraint, and the device
+resource budget, then ranks them by modelled throughput (and reports
+energy efficiency).  This is the ablation the paper's §5.4 trade-off
+discussion implies: computation parallelism and memory traffic are not
+independent, so the best point is found jointly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.config import ArchitectureConfig
+from repro.hw.controller import schedule_network
+from repro.hw.resources import full_design_resources, system_power_mw
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible configuration with its modelled performance."""
+
+    config: ArchitectureConfig
+    images_per_second: float
+    images_per_joule: float
+    alm_utilization: float
+    memory_utilization: float
+    mac_utilization: float
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"T={c.pe_sets:3d} S=N={c.pe_inputs:2d} B={c.bit_length:2d} "
+            f"{c.grng_kind:10s} {self.images_per_second:12.1f} img/s "
+            f"{self.images_per_joule:10.1f} img/J "
+            f"ALM {self.alm_utilization:5.1%} MEM {self.memory_utilization:5.1%}"
+        )
+
+
+def explore_design_space(
+    layer_sizes: tuple[int, ...] = (784, 200, 200, 10),
+    *,
+    grng_kind: str = "rlf",
+    bit_length: int = 8,
+    max_word_size: int = 1_024,
+    pe_input_options: tuple[int, ...] = (4, 8, 16),
+    max_pe_sets: int = 64,
+    require_device_fit: bool = True,
+) -> list[DesignPoint]:
+    """Enumerate feasible design points, best throughput first.
+
+    A point is feasible when its configuration validates (word sizes), the
+    write-back constraint holds for the target network, and — when
+    ``require_device_fit`` — the modelled resources fit the Cyclone V.
+    """
+    if len(layer_sizes) < 2:
+        raise ConfigurationError("need at least input and output sizes")
+    points: list[DesignPoint] = []
+    for n in pe_input_options:
+        for t in range(1, max_pe_sets + 1):
+            try:
+                config = ArchitectureConfig(
+                    pe_sets=t,
+                    pes_per_set=n,
+                    pe_inputs=n,
+                    bit_length=bit_length,
+                    max_word_size=max_word_size,
+                    grng_kind=grng_kind,
+                )
+            except ConfigurationError:
+                continue
+            min_in = min(layer_sizes[:-1])
+            if not config.writeback_feasible(min_in):
+                continue
+            report = full_design_resources(config, layer_sizes)
+            if require_device_fit and not report.fits_device():
+                continue
+            schedule = schedule_network(config, layer_sizes)
+            ips = schedule.images_per_second()
+            power_w = system_power_mw(config) / 1e3
+            mac_util = sum(
+                layer.mac_utilization * layer.compute_cycles
+                for layer in schedule.layers
+            ) / sum(layer.compute_cycles for layer in schedule.layers)
+            points.append(
+                DesignPoint(
+                    config=config,
+                    images_per_second=ips,
+                    images_per_joule=ips / power_w,
+                    alm_utilization=report.alm_utilization,
+                    memory_utilization=report.memory_utilization,
+                    mac_utilization=mac_util,
+                )
+            )
+    points.sort(key=lambda p: p.images_per_second, reverse=True)
+    return points

@@ -1,0 +1,138 @@
+"""Fault injection for the hardware GRNG models.
+
+Failure-injection study: what happens to sample quality when SeMem bits or
+Wallace pool entries develop stuck-at faults?  The RLF design's state is a
+255-bit linear-feedback vector — a stuck bit both biases the popcount and
+corrupts the feedback stream — while a stuck Wallace pool entry keeps
+re-entering the orthogonal mixing.  These injectors let the test suite and
+benches quantify the degradation and check that quality metrics *detect*
+the faults (a silent-corruption check for the quality suite itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.grng.base import Grng
+from repro.grng.bnnwallace import BnnWallaceGrng
+from repro.grng.rlf import ParallelRlfGrng
+from repro.utils.seeding import spawn_generator
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """One stuck-at fault: a memory location pinned to a value."""
+
+    location: int
+    value: float  # 0/1 for bit memories; any float for Wallace pools
+
+
+class FaultyRlfGrng(Grng):
+    """RLF-GRNG with stuck-at faults injected into SeMem positions.
+
+    ``faults`` pin whole SeMem *words* (one bit per lane, matching the
+    physical layout: a defective RAM row hits every lane at once).
+    """
+
+    def __init__(
+        self,
+        faults: list[StuckAtFault],
+        lanes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self._grng = ParallelRlfGrng(lanes=lanes, seed=seed)
+        for fault in faults:
+            if not 0 <= fault.location < self._grng.width:
+                raise ConfigurationError(
+                    f"fault location {fault.location} outside SeMem depth "
+                    f"{self._grng.width}"
+                )
+            if fault.value not in (0, 1):
+                raise ConfigurationError("SeMem faults must pin to 0 or 1")
+        self.faults = list(faults)
+
+    def _apply_faults(self) -> None:
+        grng = self._grng
+        for fault in self.faults:
+            row = grng.state[fault.location]
+            delta = int(fault.value) - row.astype(np.int64)
+            grng.counts += delta
+            grng.state[fault.location] = int(fault.value)
+
+    def generate_codes(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        lanes = self._grng.lanes
+        cycles = -(-count // lanes)
+        out = np.empty(cycles * lanes, dtype=np.int64)
+        for i in range(cycles):
+            self._apply_faults()      # the row is stuck before every read
+            out[i * lanes : (i + 1) * lanes] = self._grng.step()
+        return out[:count]
+
+    def generate(self, count: int) -> np.ndarray:
+        from repro.grng.rlf import standardize_codes
+
+        return standardize_codes(self.generate_codes(count), self._grng.width)
+
+
+class FaultyBnnWallaceGrng(Grng):
+    """BNNWallace-GRNG with stuck pool entries (unit 0's pool).
+
+    A stuck entry keeps feeding the same value into every transform that
+    reads it; because the transform is orthogonal and energy-preserving,
+    a large stuck value inflates the output variance persistently — the
+    signature the quality suite must catch.
+    """
+
+    def __init__(
+        self,
+        faults: list[StuckAtFault],
+        units: int = 8,
+        pool_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        self._grng = BnnWallaceGrng(units=units, pool_size=pool_size, seed=seed)
+        for fault in faults:
+            if not 0 <= fault.location < pool_size:
+                raise ConfigurationError(
+                    f"fault location {fault.location} outside pool size {pool_size}"
+                )
+        self.faults = list(faults)
+
+    def _apply_faults(self) -> None:
+        for fault in self.faults:
+            self._grng.pools[0, fault.location] = fault.value
+
+    def generate(self, count: int) -> np.ndarray:
+        self._check_count(count)
+        if count == 0:
+            return np.empty(0)
+        per_cycle = self._grng.units * 4
+        cycles = -(-count // per_cycle)
+        out = np.empty(cycles * per_cycle)
+        for i in range(cycles):
+            self._apply_faults()
+            out[i * per_cycle : (i + 1) * per_cycle] = self._grng.step()
+        return out[:count]
+
+
+def random_seu_faults(
+    count: int, depth: int, seed: int = 0, *, binary: bool = True
+) -> list[StuckAtFault]:
+    """Random single-event-upset style stuck-at faults over ``depth`` rows."""
+    if count < 0 or depth < 1:
+        raise ConfigurationError("count must be >= 0 and depth >= 1")
+    rng = spawn_generator(seed, "seu-faults")
+    locations = rng.choice(depth, size=min(count, depth), replace=False)
+    return [
+        StuckAtFault(
+            location=int(loc),
+            value=float(rng.integers(0, 2)) if binary else float(rng.normal(0, 3)),
+        )
+        for loc in locations
+    ]

@@ -1,0 +1,193 @@
+"""On-chip memory models with per-cycle port accounting (§3, §5.4).
+
+The FPGA's block RAMs are true dual-port: two accesses (any mix of reads
+and writes) per cycle.  :class:`DualPortRam` enforces this budget so
+schedule bugs surface as :class:`~repro.errors.MemoryPortConflictError`
+instead of silently impossible designs.
+
+Higher-level structures from the paper:
+
+* :class:`DoubleBufferedMemory` — the IFMem pair of §5.4.1 ("we use two
+  IFMems alternatively to avoid any latent read&write conflicts"): one
+  buffer serves layer inputs while activations for the next layer land in
+  the other, then the roles swap.
+* :class:`WeightParameterMemory` — the distributed WPMems of §5.4.2: one
+  memory per PE-set so the aggregate weight bandwidth is ``T * B * N * S``
+  without exceeding ``MaxWS`` per memory.
+* :class:`Rom` — read-only storage (the RLF Initialization ROM of Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MemoryAccessError, MemoryPortConflictError
+
+
+class DualPortRam:
+    """Word-addressable RAM limited to two port operations per cycle.
+
+    Words are stored as Python ints (hardware bit patterns); ``width_bits``
+    bounds the value range.  Call :meth:`tick` to advance the cycle
+    counter; reads and writes within one cycle are counted against the
+    two-port budget.
+    """
+
+    PORTS = 2
+
+    def __init__(self, depth: int, width_bits: int, name: str = "ram") -> None:
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if width_bits < 1:
+            raise ConfigurationError(f"width_bits must be >= 1, got {width_bits}")
+        self.depth = depth
+        self.width_bits = width_bits
+        self.name = name
+        self._words = np.zeros(depth, dtype=object)
+        self._accesses_this_cycle = 0
+        self.total_reads = 0
+        self.total_writes = 0
+        self.cycles = 0
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth * self.width_bits
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.depth:
+            raise MemoryAccessError(
+                f"{self.name}: address {address} outside 0..{self.depth - 1}"
+            )
+
+    def _use_port(self) -> None:
+        self._accesses_this_cycle += 1
+        if self._accesses_this_cycle > self.PORTS:
+            raise MemoryPortConflictError(
+                f"{self.name}: {self._accesses_this_cycle} accesses in one cycle "
+                f"(dual-port RAM allows {self.PORTS})"
+            )
+
+    def read(self, address: int) -> int:
+        """Read one word this cycle."""
+        self._check_address(address)
+        self._use_port()
+        self.total_reads += 1
+        return int(self._words[address])
+
+    def write(self, address: int, value: int) -> None:
+        """Write one word this cycle."""
+        self._check_address(address)
+        if value < 0 or value >= (1 << self.width_bits):
+            raise MemoryAccessError(
+                f"{self.name}: value {value} does not fit in {self.width_bits} bits"
+            )
+        self._use_port()
+        self.total_writes += 1
+        self._words[address] = value
+
+    def load(self, words: np.ndarray) -> None:
+        """Bulk initialisation (external-memory preload; not cycle-counted)."""
+        words = np.asarray(words, dtype=object)
+        if words.shape[0] > self.depth:
+            raise MemoryAccessError(
+                f"{self.name}: {words.shape[0]} words exceed depth {self.depth}"
+            )
+        self._words[: words.shape[0]] = words
+
+    def tick(self) -> None:
+        """Advance one cycle, resetting the port budget."""
+        self.cycles += 1
+        self._accesses_this_cycle = 0
+
+
+class Rom:
+    """Read-only memory, preloaded at construction (no port limits modelled)."""
+
+    def __init__(self, words, name: str = "rom") -> None:
+        self._words = list(words)
+        if not self._words:
+            raise ConfigurationError(f"{name}: ROM cannot be empty")
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < len(self._words):
+            raise MemoryAccessError(
+                f"{self.name}: address {address} outside 0..{len(self._words) - 1}"
+            )
+        return self._words[address]
+
+
+class DoubleBufferedMemory:
+    """The alternating IFMem pair of §5.4.1.
+
+    ``read_buffer`` holds the current layer's input features;
+    ``write_buffer`` collects its activation outputs.  :meth:`swap` flips
+    the roles at a layer boundary.
+    """
+
+    def __init__(self, depth: int, width_bits: int) -> None:
+        self._buffers = [
+            DualPortRam(depth, width_bits, name="ifmem0"),
+            DualPortRam(depth, width_bits, name="ifmem1"),
+        ]
+        self._read_index = 0
+        self.swaps = 0
+
+    @property
+    def read_buffer(self) -> DualPortRam:
+        return self._buffers[self._read_index]
+
+    @property
+    def write_buffer(self) -> DualPortRam:
+        return self._buffers[1 - self._read_index]
+
+    def swap(self) -> None:
+        """Flip read/write roles (layer boundary)."""
+        self._read_index = 1 - self._read_index
+        self.swaps += 1
+
+    def tick(self) -> None:
+        for buffer in self._buffers:
+            buffer.tick()
+
+    @property
+    def capacity_bits(self) -> int:
+        return sum(buffer.capacity_bits for buffer in self._buffers)
+
+
+class WeightParameterMemory:
+    """Distributed WPMems: one dual-port RAM per PE-set (§5.4.2).
+
+    ``read_set_word(set_index, address)`` models the per-set parameter
+    fetch; every set reads in the same cycle from its own memory, so the
+    aggregate bandwidth scales with ``T`` while each word stays within
+    ``MaxWS``.
+    """
+
+    def __init__(self, pe_sets: int, depth: int, word_bits: int) -> None:
+        if pe_sets < 1:
+            raise ConfigurationError(f"pe_sets must be >= 1, got {pe_sets}")
+        self.memories = [
+            DualPortRam(depth, word_bits, name=f"wpmem{i}") for i in range(pe_sets)
+        ]
+
+    def read_set_word(self, set_index: int, address: int) -> int:
+        if not 0 <= set_index < len(self.memories):
+            raise MemoryAccessError(
+                f"set index {set_index} outside 0..{len(self.memories) - 1}"
+            )
+        return self.memories[set_index].read(address)
+
+    def load_set(self, set_index: int, words) -> None:
+        self.memories[set_index].load(np.asarray(words, dtype=object))
+
+    def tick(self) -> None:
+        for memory in self.memories:
+            memory.tick()
+
+    @property
+    def capacity_bits(self) -> int:
+        return sum(memory.capacity_bits for memory in self.memories)

@@ -1,0 +1,47 @@
+"""Packing of fixed-point codes into memory words.
+
+IFMem words carry ``N`` B-bit activation codes; WPMem words carry
+``N * S`` B-bit parameter codes.  Signed codes are stored offset-binary
+(two's complement within the field), LSB-first fields — field ``i``
+occupies bits ``[i*B, (i+1)*B)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def pack_word(codes: np.ndarray, bits: int) -> int:
+    """Pack signed integer codes into one memory word."""
+    codes = np.asarray(codes, dtype=np.int64)
+    if bits < 2:
+        raise ConfigurationError(f"bits must be >= 2, got {bits}")
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if codes.min() < low or codes.max() > high:
+        raise ConfigurationError(
+            f"codes outside signed {bits}-bit range [{low}, {high}]"
+        )
+    mask = (1 << bits) - 1
+    word = 0
+    for index, code in enumerate(codes):
+        word |= (int(code) & mask) << (index * bits)
+    return word
+
+
+def unpack_word(word: int, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_word`: extract ``count`` signed codes."""
+    if bits < 2:
+        raise ConfigurationError(f"bits must be >= 2, got {bits}")
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if word < 0:
+        raise ConfigurationError(f"word must be non-negative, got {word}")
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    out = np.empty(count, dtype=np.int64)
+    for index in range(count):
+        field = (word >> (index * bits)) & mask
+        out[index] = field - (1 << bits) if field & sign_bit else field
+    return out

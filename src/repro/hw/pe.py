@@ -1,0 +1,138 @@
+"""Processing element and PE-set models (§5.1, Figs. 11 and 13).
+
+A PE is one time-multiplexed neuron: per cycle it multiplies ``N`` input
+features with ``N`` weight samples (the MAC tree), accumulates the partial
+dot product, and after the final iteration adds the bias and applies ReLU.
+The three pipeline stages of §5.5 (multiply | accumulate | bias+ReLU) are
+modelled as a latency constant; the arithmetic itself is bit-exact fixed
+point.
+
+Formats: weights arrive in the weight format (``Q0.(B-1)``), features in
+the activation format (``Q3.(B-4)``); the accumulator carries
+``frac_w + frac_a`` fractional bits, the bias is added at that wide
+precision, and one rounding shift produces the activation-format output —
+exactly the datapath of
+:class:`repro.bnn.quantized.QuantizedBayesianNetwork`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat, requantize
+
+#: Pipeline depth of one PE (§5.5: multiply, accumulate, bias+ReLU).
+PE_PIPELINE_STAGES = 3
+
+
+class ProcessingElement:
+    """One N-input PE with a wide internal accumulator.
+
+    Parameters
+    ----------
+    n_inputs:
+        MAC-tree width ``N``.
+    weight_fmt / act_fmt:
+        Operand formats; ``act_fmt`` defaults to ``weight_fmt`` (the
+        single-format configuration used by some unit tests).
+    """
+
+    def __init__(
+        self, n_inputs: int, weight_fmt: QFormat, act_fmt: QFormat | None = None
+    ) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(f"n_inputs must be >= 1, got {n_inputs}")
+        self.n_inputs = n_inputs
+        self.weight_fmt = weight_fmt
+        self.act_fmt = act_fmt if act_fmt is not None else weight_fmt
+        self.acc_frac_bits = self.weight_fmt.frac_bits + self.act_fmt.frac_bits
+        self._accumulator = 0  # carries acc_frac_bits fractional bits
+        self.mac_operations = 0
+
+    def reset(self) -> None:
+        """Clear the accumulator for a new neuron assignment."""
+        self._accumulator = 0
+
+    def accumulate(self, weights: np.ndarray, features: np.ndarray) -> None:
+        """One MAC-tree cycle: ``acc += dot(weights, features)``.
+
+        Short final chunks are zero-padded by the caller (the controller
+        feeds zeros for lanes past the layer's input size).
+        """
+        weights = np.asarray(weights, dtype=np.int64)
+        features = np.asarray(features, dtype=np.int64)
+        if weights.shape != (self.n_inputs,) or features.shape != (self.n_inputs,):
+            raise ConfigurationError(
+                f"expected {self.n_inputs}-vectors, got {weights.shape} and {features.shape}"
+            )
+        self._accumulator += int(weights @ features)
+        self.mac_operations += 1
+
+    def finish(self, bias_acc_code: int, *, apply_relu: bool) -> int:
+        """Wide bias add + requantize + optional ReLU; returns the code.
+
+        ``bias_acc_code`` carries :attr:`acc_frac_bits` fractional bits
+        (the accumulator precision), as stored by the quantized network.
+        """
+        wide = self._accumulator + int(bias_acc_code)
+        out = int(requantize(np.array([wide]), self.acc_frac_bits, self.act_fmt)[0])
+        if apply_relu:
+            out = max(out, 0)
+        self.reset()
+        return out
+
+
+class PeSet:
+    """``S`` PEs sharing one IFMem word per cycle (Fig. 13).
+
+    All PEs in a set (and across sets) receive the same ``N`` input
+    features in a cycle — the property that lets one IFMem access feed the
+    whole array (§5.4.1).
+    """
+
+    def __init__(
+        self,
+        n_pes: int,
+        n_inputs: int,
+        weight_fmt: QFormat,
+        act_fmt: QFormat | None = None,
+    ) -> None:
+        if n_pes < 1:
+            raise ConfigurationError(f"n_pes must be >= 1, got {n_pes}")
+        self.pes = [
+            ProcessingElement(n_inputs, weight_fmt, act_fmt) for _ in range(n_pes)
+        ]
+        self.n_inputs = n_inputs
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def accumulate(self, weights: np.ndarray, features: np.ndarray) -> None:
+        """One cycle: ``weights`` is ``(S, N)``, ``features`` is ``(N,)``."""
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.shape != (len(self.pes), self.n_inputs):
+            raise ConfigurationError(
+                f"expected weights of shape ({len(self.pes)}, {self.n_inputs}), got {weights.shape}"
+            )
+        for pe, row in zip(self.pes, weights):
+            pe.accumulate(row, features)
+
+    def finish(self, bias_acc_codes: np.ndarray, *, apply_relu: bool) -> np.ndarray:
+        """Drain all PEs; returns ``S`` activation codes."""
+        bias_acc_codes = np.asarray(bias_acc_codes, dtype=np.int64)
+        if bias_acc_codes.shape != (len(self.pes),):
+            raise ConfigurationError(
+                f"expected {len(self.pes)} bias codes, got shape {bias_acc_codes.shape}"
+            )
+        return np.array(
+            [
+                pe.finish(int(bias), apply_relu=apply_relu)
+                for pe, bias in zip(self.pes, bias_acc_codes)
+            ],
+            dtype=np.int64,
+        )
+
+    def reset(self) -> None:
+        for pe in self.pes:
+            pe.reset()

@@ -1,0 +1,275 @@
+"""Analytic resource / power / clock models (Tables 2, 4 and 5).
+
+A Python reproduction cannot synthesise Verilog, so FPGA costs are modelled
+with per-component formulas whose constants are **calibrated** against the
+paper's published design points and then extrapolated:
+
+* Table 2 — the two GRNGs at 64 parallel lanes (ALMs, registers, block
+  memory bits, RAM blocks, power, fmax);
+* Table 4 — the full 16x8x8 networks (ALMs, registers, memory bits, DSPs);
+* Table 5 — derived system power such that throughput / power lands on the
+  published images/J.
+
+Every constant in :data:`CALIBRATION` is annotated with its source.  The
+model preserves the paper's *relative* story exactly — RLF is memory-lean,
+fast and power-efficient; BNNWallace is ALM/register-lean but
+memory-hungry — and reproduces the absolute published numbers at the
+calibrated points to within a few percent (asserted by the tests, reported
+in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.config import (
+    CYCLONE_V_ALMS,
+    CYCLONE_V_DSPS,
+    CYCLONE_V_MEMORY_BITS,
+    M10K_BITS,
+    ArchitectureConfig,
+)
+
+GRNG_KINDS = ("rlf", "bnnwallace")
+
+#: Calibration constants.  "T2" = fitted to Table 2 (64-lane GRNGs),
+#: "T4" = fitted to Table 4 (full networks), "T5" = fitted to Table 5
+#: (system power via images/J), "model" = engineering estimate.
+CALIBRATION: dict[str, float] = {
+    # --- GRNG logic: linear per-lane models through the T2 64-lane points.
+    #     Pure linearity (no fixed term) makes the full designs' ALM delta
+    #     match Table 4 exactly: 98,006 - 91,126 = 16 x (831 - 401).
+    "rlf_alm_per_lane": 831 / 64,                  # T2
+    "rlf_reg_per_lane": 1780 / 64,                 # T2
+    "wallace_alm_per_lane": 401 / 64,              # T2
+    "wallace_reg_per_lane": 1166 / 64,             # T2
+    # --- GRNG memory ---
+    "rlf_seed_bits_per_lane": 255.0,               # SeMem: 255 words x 1 bit
+    "wallace_pool_words_per_unit": 256.0,          # paper: 256-number pools
+    "wallace_pool_bits_per_word": 16.0,            # pool number width
+    "wallace_blocks_per_lane": 103 / 64,           # T2 (port-driven blowup)
+    "wallace_system_init_rom_bits": 45_056.0,      # T4 fit (large designs)
+    # --- GRNG clock (critical path) ---
+    "rlf_fmax_mhz": 212.95,                        # T2
+    "wallace_fmax_mhz": 117.63,                    # T2
+    # --- GRNG power: (fixed + per_lane * lanes) * f / f_ref, fitted through
+    #     the T2 point at 64 lanes and the T5 system-power target at the
+    #     full design's 1024 lanes ---
+    "rlf_power_fixed_mw": 7.4,                     # T2+T5 joint fit
+    "rlf_power_per_lane_mw": 8.145,                # T2+T5 joint fit
+    "wallace_power_fixed_mw": 100.5,               # T2+T5 joint fit
+    "wallace_power_per_lane_mw": 7.18,             # T2+T5 joint fit
+    # --- PE array and system (B-bit operands, per-PE N-input MAC) ---
+    "pe_alm_per_mac_bit": 8.18,                    # T4 fit
+    "pe_reg_per_pe": 423.75,                       # T4 fit
+    "updater_alm_per_lane_bit": 1.55,              # T4 fit
+    "system_alm_overhead": 5000.0,                 # controller+distributor (model)
+    "system_reg_overhead": 6000.0,                 # (model)
+    "pe_power_mw": 10.0,                           # T5 fit
+    "mem_ctrl_power_mw": 500.0,                    # T5 fit
+    "static_power_mw": 400.0,                      # T5 fit
+    "system_fmax_mhz": 100.0,                      # typical Cyclone V system clock (model)
+    # --- network memory (Table 4 baseline) ---
+    "infrastructure_mem_bits": 1_110_880.0,        # T4 fit: I/O staging, init ROMs
+}
+
+
+@dataclass(frozen=True)
+class GrngResourceReport:
+    """Table 2 row: one GRNG design at a given lane count."""
+
+    kind: str
+    lanes: int
+    alms: int
+    registers: int
+    memory_bits: int
+    ram_blocks: int
+    power_mw: float
+    fmax_mhz: float
+
+
+def grng_resources(kind: str, lanes: int) -> GrngResourceReport:
+    """Resource/performance model of a parallel GRNG (Table 2 at 64 lanes)."""
+    if kind not in GRNG_KINDS:
+        raise ConfigurationError(f"kind must be one of {GRNG_KINDS}, got {kind!r}")
+    if lanes < 4:
+        raise ConfigurationError(f"lanes must be >= 4, got {lanes}")
+    c = CALIBRATION
+    if kind == "rlf":
+        alms = c["rlf_alm_per_lane"] * lanes
+        regs = c["rlf_reg_per_lane"] * lanes
+        bits_used = int(c["rlf_seed_bits_per_lane"] * lanes)
+        # The 3-block banking scheme (Fig. 6) needs at least three physical
+        # blocks; wider lane counts add capacity blocks in triples.
+        blocks = 3 * max(1, math.ceil(bits_used / (3 * M10K_BITS)))
+        memory_bits = 1 << math.ceil(math.log2(max(bits_used, 1)))
+        power = (c["rlf_power_fixed_mw"] + c["rlf_power_per_lane_mw"] * lanes)
+        fmax = c["rlf_fmax_mhz"]
+    else:
+        alms = c["wallace_alm_per_lane"] * lanes
+        regs = c["wallace_reg_per_lane"] * lanes
+        units = max(1, lanes // 4)
+        bits_used = int(
+            units
+            * c["wallace_pool_words_per_unit"]
+            * c["wallace_pool_bits_per_word"]
+        )
+        # Each Wallace Unit needs 4 reads + 4 writes per cycle, so pools
+        # shatter across many narrow blocks; the block count is calibrated
+        # to Table 2's 103 blocks at 64 lanes.
+        blocks = math.ceil(c["wallace_blocks_per_lane"] * lanes)
+        memory_bits = blocks * M10K_BITS
+        # Table 2 reports 2^20 for the 64-lane design; keep the same
+        # power-of-two presentation.
+        memory_bits = 1 << math.floor(math.log2(max(memory_bits, 1)))
+        power = (c["wallace_power_fixed_mw"] + c["wallace_power_per_lane_mw"] * lanes)
+        fmax = c["wallace_fmax_mhz"]
+    return GrngResourceReport(
+        kind=kind,
+        lanes=lanes,
+        alms=int(round(alms)),
+        registers=int(round(regs)),
+        memory_bits=int(memory_bits),
+        ram_blocks=int(blocks),
+        power_mw=float(power),
+        fmax_mhz=float(fmax),
+    )
+
+
+def grng_system_memory_bits(kind: str, lanes: int) -> int:
+    """GRNG memory as *packed into* a full design (Table 4 accounting).
+
+    The standalone Table 2 report counts allocated M10K capacity (one
+    Wallace pool per block group); inside the full design the pools are
+    packed, and — per §6.1's observation that more sharing units allow
+    smaller pools — designs with more than 16 units halve the per-unit
+    pool to 128 numbers.  The RLF SeMem is reported at its power-of-two
+    footprint.  Constants are fitted so the paper's two Table 4 design
+    points are matched exactly.
+    """
+    if kind not in GRNG_KINDS:
+        raise ConfigurationError(f"kind must be one of {GRNG_KINDS}, got {kind!r}")
+    if lanes < 4:
+        raise ConfigurationError(f"lanes must be >= 4, got {lanes}")
+    c = CALIBRATION
+    if kind == "rlf":
+        bits_used = int(c["rlf_seed_bits_per_lane"] * lanes)
+        return 1 << math.ceil(math.log2(max(bits_used, 2)))
+    units = max(1, lanes // 4)
+    pool_words = c["wallace_pool_words_per_unit"] if units <= 16 else 128.0
+    pool_bits = int(units * pool_words * c["wallace_pool_bits_per_word"])
+    rom_bits = int(c["wallace_system_init_rom_bits"]) if units > 16 else 0
+    return pool_bits + rom_bits
+
+
+@dataclass(frozen=True)
+class FullDesignReport:
+    """Table 4 row: a full VIBNN network design on the Cyclone V."""
+
+    grng_kind: str
+    alms: int
+    registers: int
+    memory_bits: int
+    dsps: int
+    alm_utilization: float
+    memory_utilization: float
+    dsp_utilization: float
+    power_mw: float
+    clock_mhz: float
+
+    def fits_device(self) -> bool:
+        """Whether the design fits the paper's Cyclone V."""
+        return (
+            self.alms <= CYCLONE_V_ALMS
+            and self.memory_bits <= CYCLONE_V_MEMORY_BITS
+            and self.dsps <= CYCLONE_V_DSPS
+        )
+
+
+def network_parameter_bits(layer_sizes: tuple[int, ...], bit_length: int) -> int:
+    """WPMem bits: ``(mu, sigma)`` per weight and bias at ``B`` bits each."""
+    if len(layer_sizes) < 2:
+        raise ConfigurationError("need at least input and output sizes")
+    weights = sum(
+        layer_sizes[i] * layer_sizes[i + 1] for i in range(len(layer_sizes) - 1)
+    )
+    biases = sum(layer_sizes[1:])
+    return (weights + biases) * 2 * bit_length
+
+
+def full_design_resources(
+    config: ArchitectureConfig,
+    layer_sizes: tuple[int, ...] = (784, 200, 200, 10),
+) -> FullDesignReport:
+    """Model the full accelerator (Table 4 at the paper config).
+
+    Component breakdown:
+
+    * PE array: ``M`` PEs, each with ``N`` B-bit multipliers + adder tree,
+      modelled as ``pe_alm_per_mac_bit * N * B`` ALMs per PE; multipliers
+      map to DSPs until the device runs out (Table 4 shows 342/342).
+    * Weight updater: one multiply-add lane per weight per cycle
+      (``M * N`` lanes), ``updater_alm_per_lane_bit * B`` ALMs each.
+    * GRNG: :func:`grng_resources` at ``M * N`` lanes.
+    * Memory: network parameters + double-buffered IFMems +
+      calibrated infrastructure bits, plus the GRNG's own memory.
+    """
+    c = CALIBRATION
+    lanes = config.weights_per_cycle
+    grng = grng_resources(config.grng_kind, lanes)
+    pe_alms = (
+        c["pe_alm_per_mac_bit"] * config.pe_inputs * config.bit_length
+    ) * config.total_pes
+    updater_alms = c["updater_alm_per_lane_bit"] * config.bit_length * lanes
+    alms = pe_alms + updater_alms + grng.alms + c["system_alm_overhead"]
+    registers = (
+        c["pe_reg_per_pe"] * config.total_pes
+        + grng.registers
+        + c["system_reg_overhead"]
+    )
+    max_activations = max(layer_sizes)
+    ifmem_bits = 2 * max_activations * config.bit_length
+    memory_bits = (
+        network_parameter_bits(layer_sizes, config.bit_length)
+        + ifmem_bits
+        + int(c["infrastructure_mem_bits"])
+        + grng_system_memory_bits(config.grng_kind, lanes)
+    )
+    multipliers = config.total_pes * config.pe_inputs
+    dsps = min(CYCLONE_V_DSPS, multipliers)
+    power = system_power_mw(config)
+    return FullDesignReport(
+        grng_kind=config.grng_kind,
+        alms=int(round(alms)),
+        registers=int(round(registers)),
+        memory_bits=int(memory_bits),
+        dsps=int(dsps),
+        alm_utilization=alms / CYCLONE_V_ALMS,
+        memory_utilization=memory_bits / CYCLONE_V_MEMORY_BITS,
+        dsp_utilization=dsps / CYCLONE_V_DSPS,
+        power_mw=power,
+        clock_mhz=system_clock_mhz(config),
+    )
+
+
+def system_clock_mhz(config: ArchitectureConfig) -> float:
+    """System clock: the slower of the PE pipeline and the GRNG fmax."""
+    grng = grng_resources(config.grng_kind, config.weights_per_cycle)
+    return min(CALIBRATION["system_fmax_mhz"], grng.fmax_mhz, config.clock_mhz)
+
+
+def system_power_mw(config: ArchitectureConfig) -> float:
+    """Total board power: PEs + GRNG (frequency-scaled) + memory + static.
+
+    GRNG dynamic power scales with the *system* clock it actually runs at,
+    relative to the standalone fmax it was characterised at (Table 2).
+    """
+    c = CALIBRATION
+    lanes = config.weights_per_cycle
+    grng = grng_resources(config.grng_kind, lanes)
+    clock = system_clock_mhz(config)
+    grng_power = grng.power_mw * (clock / grng.fmax_mhz)
+    pe_power = c["pe_power_mw"] * config.total_pes * (clock / c["system_fmax_mhz"])
+    return grng_power + pe_power + c["mem_ctrl_power_mw"] + c["static_power_mw"]

@@ -1,0 +1,82 @@
+"""Weight generator: GRNG + weight updater (Fig. 12, §5.3).
+
+Per cycle the generator must supply one fresh weight sample per multiplier
+lane — ``M * N`` samples for the full array.  The weight updater applies
+the variational parameters to the epsilon stream:
+
+    ``w = mu + sigma * eps``  (eq. 2)
+
+in fixed point.  For the RLF-GRNG the epsilon is the centred 8-bit
+popcount, standardised by a 3-bit right shift (``sqrt(255/4) = 7.98 ~ 8``);
+for BNNWallace (or any float GRNG) the epsilon is quantized to the
+``Q2.(B-3)`` epsilon format first.  This mirrors
+:class:`repro.bnn.quantized.QuantizedBayesianNetwork`'s updater exactly —
+the accelerator's functional-equivalence tests depend on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.quantized import (
+    RLF_CODE_OFFSET,
+    RLF_SIGMA_SHIFT,
+    epsilon_format,
+    weight_format,
+)
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat, requantize, saturate
+from repro.grng.base import Grng
+
+#: Pipeline registers between GRNG -> updater and updater -> PE (§5.5).
+WEIGHT_GENERATOR_PIPELINE_STAGES = 2
+
+
+class WeightGenerator:
+    """Streams sampled weight codes for the PE array.
+
+    Parameters
+    ----------
+    grng:
+        The epsilon source.  Integer-code generators use the hardware
+        shift-standardisation path; float generators are quantized.
+    bit_length:
+        Operand width ``B``; fixes the weight and epsilon formats.
+    """
+
+    def __init__(self, grng: Grng, bit_length: int = 8) -> None:
+        if bit_length < 4 or bit_length > 32:
+            raise ConfigurationError(f"bit_length must be in 4..32, got {bit_length}")
+        self.grng = grng
+        self.bit_length = bit_length
+        self.weight_fmt: QFormat = weight_format(bit_length)
+        self.eps_fmt: QFormat = epsilon_format(bit_length)
+        self.samples_generated = 0
+
+    def _epsilons(self, count: int) -> tuple[np.ndarray, int]:
+        """Epsilon codes plus their implicit fractional bit count."""
+        try:
+            codes = self.grng.generate_codes(count)
+        except ConfigurationError:
+            floats = self.grng.generate(count)
+            return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
+        return codes - RLF_CODE_OFFSET, RLF_SIGMA_SHIFT
+
+    def sample(self, mu_codes: np.ndarray, sigma_codes: np.ndarray) -> np.ndarray:
+        """Weight updater: elementwise ``mu + sigma * eps`` on weight codes.
+
+        ``mu_codes`` and ``sigma_codes`` may have any (matching) shape; one
+        epsilon is drawn per element.
+        """
+        mu_codes = np.asarray(mu_codes, dtype=np.int64)
+        sigma_codes = np.asarray(sigma_codes, dtype=np.int64)
+        if mu_codes.shape != sigma_codes.shape:
+            raise ConfigurationError(
+                f"mu/sigma shape mismatch: {mu_codes.shape} vs {sigma_codes.shape}"
+            )
+        eps, eps_frac = self._epsilons(mu_codes.size)
+        self.samples_generated += mu_codes.size
+        eps = eps.reshape(mu_codes.shape)
+        product = sigma_codes * eps.astype(np.int64)
+        delta = requantize(product, self.weight_fmt.frac_bits + eps_frac, self.weight_fmt)
+        return saturate(mu_codes + delta, self.weight_fmt)

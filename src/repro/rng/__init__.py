@@ -1,0 +1,26 @@
+"""Uniform pseudo-random substrate (system S2).
+
+The GRNGs of :mod:`repro.grng` are built on linear-feedback shift registers.
+This package models them at the bit level:
+
+* :mod:`~repro.rng.taps` — maximal-length tap table (Ward & Molteno subset);
+* :class:`~repro.rng.lfsr.FibonacciLfsr` — the textbook LFSR;
+* :class:`~repro.rng.lfsr.ShiftHeadLfsr` — the paper's eq. (9) variant with a
+  fixed head register and XOR injection at the taps, the structure the
+  RAM-based RLF logic emulates;
+* :class:`~repro.rng.parallel_counter.ParallelCounter` — popcount with the
+  adder-tree hardware-cost model quoted in §4.1.1.
+"""
+
+from repro.rng.lfsr import FibonacciLfsr, ShiftHeadLfsr, lfsr_period
+from repro.rng.parallel_counter import ParallelCounter
+from repro.rng.taps import WARD_MOLTENO_TAPS, taps_for_width
+
+__all__ = [
+    "FibonacciLfsr",
+    "ShiftHeadLfsr",
+    "lfsr_period",
+    "ParallelCounter",
+    "WARD_MOLTENO_TAPS",
+    "taps_for_width",
+]

@@ -1,0 +1,164 @@
+"""Linear-feedback shift register models.
+
+Two structures are provided:
+
+* :class:`FibonacciLfsr` — the textbook many-to-one LFSR: the feedback bit is
+  the XOR of the tap register outputs and is shifted into the low end.
+* :class:`ShiftHeadLfsr` — the structure of the paper's eq. (9) and Fig. 3(a):
+  a fixed *head* register (register 1) whose value is XOR-injected into the
+  registers at the tap locations while all contents shift down by one.  The
+  RAM-based linear feedback (RLF) logic of §4.1.2 computes exactly this
+  update without physically moving bits; :mod:`repro.grng.rlf` proves the
+  equivalence in its tests.
+
+Register indexing is 1-based to match the paper (register 1 is the head /
+output end); internally bit ``i`` of the state integer holds register
+``i + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng.taps import taps_for_width
+from repro.utils.bitops import popcount
+
+
+def _check_seed(seed: int, width: int) -> int:
+    if not 0 < seed < (1 << width):
+        raise ConfigurationError(
+            f"seed must be a non-zero {width}-bit value, got {seed}"
+        )
+    return seed
+
+
+class FibonacciLfsr:
+    """Classic Fibonacci (many-to-one) LFSR.
+
+    Parameters
+    ----------
+    width:
+        Number of registers.
+    taps:
+        1-based tap positions (must include ``width`` for a maximal-length
+        configuration); defaults to the Ward–Molteno table entry.
+    seed:
+        Initial non-zero state.
+
+    Examples
+    --------
+    >>> lfsr = FibonacciLfsr(width=8, seed=1)
+    >>> bits = [lfsr.step() for _ in range(8)]
+    >>> len(bits)
+    8
+    """
+
+    def __init__(
+        self, width: int, seed: int = 1, taps: Sequence[int] | None = None
+    ) -> None:
+        if width < 2:
+            raise ConfigurationError(f"width must be >= 2, got {width}")
+        self.width = width
+        self.taps = tuple(taps) if taps is not None else taps_for_width(width)
+        for tap in self.taps:
+            if not 1 <= tap <= width:
+                raise ConfigurationError(
+                    f"tap {tap} outside register range 1..{width}"
+                )
+        self.state = _check_seed(seed, width)
+
+    def step(self) -> int:
+        """Advance one cycle; return the output bit (register ``width``).
+
+        Registers shift toward the output end (``R_i <- R_{i-1}``) and the
+        feedback bit — the XOR of the tap register outputs, which always
+        include the leaving register — enters at register 1.  Including the
+        output register in the feedback keeps the map invertible, so every
+        non-zero state lies on a cycle.
+        """
+        out = (self.state >> (self.width - 1)) & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        mask = (1 << self.width) - 1
+        self.state = ((self.state << 1) & mask) | feedback
+        return out
+
+    def step_word(self, bits: int) -> int:
+        """Advance ``bits`` cycles and pack the output bits LSB-first."""
+        word = 0
+        for i in range(bits):
+            word |= self.step() << i
+        return word
+
+    def popcount(self) -> int:
+        """Number of ones currently in the register — the CLT-GRNG output."""
+        return popcount(self.state)
+
+
+class ShiftHeadLfsr:
+    """The paper's eq. (9) LFSR: fixed head, shifting contents, XOR at taps.
+
+    Update per cycle (1-based registers, head = register 1):
+
+    * for each tap ``t``:        ``R(t) <- R(t+1) XOR R(1)``
+    * for every other ``i < n``: ``R(i) <- R(i+1)``
+    * wraparound:                ``R(n) <- R(1)``
+
+    The 8-bit example of Fig. 3(a) uses ``inject_taps = (4, 5, 6)``; the
+    255-bit RLF-GRNG uses ``(250, 252, 253)``.
+
+    This is the reference model the RAM-based RLF logic must match bit for
+    bit (see ``tests/test_grng_rlf.py``).
+    """
+
+    def __init__(self, width: int, inject_taps: Iterable[int], seed: int = 1) -> None:
+        if width < 2:
+            raise ConfigurationError(f"width must be >= 2, got {width}")
+        self.width = width
+        self.inject_taps = tuple(sorted(inject_taps))
+        for tap in self.inject_taps:
+            if not 1 <= tap < width:
+                raise ConfigurationError(
+                    f"inject tap {tap} must be in 1..{width - 1}"
+                )
+        self.state = _check_seed(seed, width)
+
+    def _bit(self, register: int) -> int:
+        return (self.state >> (register - 1)) & 1
+
+    def step(self) -> int:
+        """Advance one cycle; return the head bit consumed this cycle."""
+        head = self._bit(1)
+        next_state = 0
+        for register in range(1, self.width):
+            bit = self._bit(register + 1)
+            if register in self.inject_taps:
+                bit ^= head
+            next_state |= bit << (register - 1)
+        next_state |= head << (self.width - 1)
+        self.state = next_state
+        return head
+
+    def popcount(self) -> int:
+        """Number of ones in the register (the binomial-method sample)."""
+        return popcount(self.state)
+
+
+def lfsr_period(width: int, taps: Sequence[int] | None = None, *, limit: int | None = None) -> int:
+    """Brute-force the period of a :class:`FibonacciLfsr` configuration.
+
+    Only practical for small widths; ``limit`` (default ``2**width``) bounds
+    the search.  Returns the cycle length starting from seed 1.
+    """
+    lfsr = FibonacciLfsr(width=width, seed=1, taps=taps)
+    initial = lfsr.state
+    bound = limit if limit is not None else (1 << width)
+    for count in range(1, bound + 1):
+        lfsr.step()
+        if lfsr.state == initial:
+            return count
+    raise ConfigurationError(
+        f"period of width-{width} LFSR exceeds search limit {bound}"
+    )

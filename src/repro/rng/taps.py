@@ -1,0 +1,69 @@
+"""Maximal-length LFSR tap positions (XOR form).
+
+Subset of the Ward & Molteno table ("Table of linear feedback shift
+registers", ref. [55] of the paper), which lists tap sets producing
+maximal-length sequences of period ``2**n - 1``.  The paper notes that the
+number of taps is always 3 (i.e. 4 including the output stage) for 4-bit to
+2048-bit LFSRs; the entries here use the standard published sets.
+
+Tap convention: positions are 1-based from the output end, with ``n`` always
+included; the feedback bit is the XOR of the listed register outputs and is
+shifted into register 1.  Entry ``255: (255, 253, 252, 250)`` is the one the
+RLF-GRNG of §4.1.2 is built from (injection offsets 250/252/253).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+WARD_MOLTENO_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    28: (28, 25),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+    63: (63, 62),
+    64: (64, 63, 61, 60),
+    96: (96, 94, 49, 47),
+    127: (127, 126),
+    128: (128, 126, 101, 99),
+    255: (255, 253, 252, 250),
+    256: (256, 254, 251, 246),
+}
+
+
+def taps_for_width(width: int) -> tuple[int, ...]:
+    """Return the maximal-length tap set for an LFSR of ``width`` bits.
+
+    Raises :class:`~repro.errors.ConfigurationError` for widths not in the
+    table; callers that need an arbitrary width should pass explicit taps.
+    """
+    try:
+        return WARD_MOLTENO_TAPS[width]
+    except KeyError:
+        raise ConfigurationError(
+            f"no tap entry for width {width}; available: "
+            f"{sorted(WARD_MOLTENO_TAPS)}"
+        ) from None

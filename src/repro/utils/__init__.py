@@ -1,0 +1,32 @@
+"""Shared small utilities: bit manipulation, validation, seeding."""
+
+from repro.utils.bitops import (
+    bit_length_for,
+    bits_to_int,
+    int_to_bits,
+    popcount,
+    rotate_left,
+    rotate_right,
+)
+from repro.utils.seeding import derive_seed, spawn_generator
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "bit_length_for",
+    "bits_to_int",
+    "int_to_bits",
+    "popcount",
+    "rotate_left",
+    "rotate_right",
+    "derive_seed",
+    "spawn_generator",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+]

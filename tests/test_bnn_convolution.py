@@ -1,0 +1,240 @@
+"""Tests for the Bayesian convolution extension (im2col, conv, pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import Adam
+from repro.bnn.conv_network import BayesianConvNetwork
+from repro.bnn.convolution import (
+    BayesianConv2dLayer,
+    MaxPool2dLayer,
+    col2im,
+    conv_output_size,
+    im2col,
+)
+from repro.bnn.losses import cross_entropy_loss
+from repro.bnn.priors import GaussianPrior
+from repro.errors import ConfigurationError
+
+
+class TestIm2Col:
+    def test_output_size_formula(self):
+        assert conv_output_size(28, 3, 1, 1) == 28
+        assert conv_output_size(28, 3, 1, 0) == 26
+        assert conv_output_size(28, 2, 2, 0) == 14
+
+    def test_output_size_invalid(self):
+        with pytest.raises(ConfigurationError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_patch_contents(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        patches = im2col(x, kernel=2, stride=2, padding=0)
+        assert patches.shape == (1, 4, 4)
+        assert patches[0, 0].tolist() == [0, 1, 4, 5]
+        assert patches[0, 3].tolist() == [10, 11, 14, 15]
+
+    def test_padding(self):
+        x = np.ones((1, 1, 2, 2))
+        patches = im2col(x, kernel=3, stride=1, padding=1)
+        assert patches.shape == (1, 4, 9)
+        # Corner patch sees 4 ones (the image) and 5 zeros (padding).
+        assert patches[0, 0].sum() == 4
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), g> == <x, col2im(g)> for random g: the defining
+        # adjoint property, which makes the conv backward pass correct.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 6, 6))
+        g = rng.standard_normal((2, 16, 27))  # kernel 3, stride 1, pad 0 -> 4x4
+        lhs = float((im2col(x, 3, 1, 0) * g).sum())
+        rhs = float((x * col2im(g, x.shape, 3, 1, 0)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestBayesianConv2d:
+    def test_output_shape(self):
+        conv = BayesianConv2dLayer(3, 8, kernel_size=3, padding=1, seed=0)
+        out = conv.forward(np.zeros((2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+        assert conv.output_shape((3, 10, 10)) == (8, 10, 10)
+
+    def test_mean_forward_matches_manual_convolution(self):
+        conv = BayesianConv2dLayer(1, 1, kernel_size=3, seed=1)
+        x = np.random.default_rng(2).standard_normal((1, 1, 5, 5))
+        out = conv.forward(x, sample=False)
+        kernel = conv.mu_weights.reshape(1, 3, 3)
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = (x[0, 0, i : i + 3, j : j + 3] * kernel[0]).sum()
+        assert np.allclose(out[0, 0], expected + conv.mu_bias[0])
+
+    def test_gradient_check_mu(self):
+        rng = np.random.default_rng(3)
+        conv = BayesianConv2dLayer(2, 3, kernel_size=3, seed=4, initial_sigma=0.05)
+        x = rng.standard_normal((2, 2, 6, 6))
+        labels = np.array([0, 1])
+        prior = GaussianPrior(1.0)
+        kl_scale = 0.01
+
+        def loss_fn():
+            out = conv.forward(x, sample=False)
+            flat = out.reshape(2, -1)[:, :3]
+            loss, _ = cross_entropy_loss(flat, labels)
+            return loss + kl_scale * float(
+                prior.kl_divergence(conv.mu_weights, conv.sigma_weights())
+                + prior.kl_divergence(conv.mu_bias, conv.sigma_bias())
+            )
+
+        out = conv.forward(x, sample=False)
+        flat = out.reshape(2, -1)
+        _, grad_flat = cross_entropy_loss(flat[:, :3], labels)
+        grad_full = np.zeros_like(flat)
+        grad_full[:, :3] = grad_flat
+        conv.backward(grad_full.reshape(out.shape), kl_scale, prior)
+        eps = 1e-6
+        for index in [(0, 0), (5, 2), (17, 1)]:
+            conv.mu_weights[index] += eps
+            up = loss_fn()
+            conv.mu_weights[index] -= 2 * eps
+            down = loss_fn()
+            conv.mu_weights[index] += eps
+            numeric = (up - down) / (2 * eps)
+            assert conv.grad_mu_weights[index] == pytest.approx(numeric, abs=1e-4)
+
+    def test_input_gradient_numerical(self):
+        rng = np.random.default_rng(5)
+        conv = BayesianConv2dLayer(1, 2, kernel_size=3, padding=1, seed=6)
+        x = rng.standard_normal((1, 1, 4, 4))
+        labels = np.array([1])
+
+        def loss_at(x_val):
+            out = conv.forward(x_val, sample=False)
+            loss, _ = cross_entropy_loss(out.reshape(1, -1)[:, :2], labels)
+            return loss
+
+        out = conv.forward(x, sample=False)
+        flat = out.reshape(1, -1)
+        _, grad_flat = cross_entropy_loss(flat[:, :2], labels)
+        grad_full = np.zeros_like(flat)
+        grad_full[:, :2] = grad_flat
+        grad_x = conv.backward(grad_full.reshape(out.shape), 0.0, GaussianPrior(1.0))
+        eps = 1e-6
+        bumped = x.copy()
+        bumped[0, 0, 2, 1] += eps
+        up = loss_at(bumped)
+        bumped[0, 0, 2, 1] -= 2 * eps
+        down = loss_at(bumped)
+        assert grad_x[0, 0, 2, 1] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BayesianConv2dLayer(0, 1, 3)
+        with pytest.raises(ConfigurationError):
+            BayesianConv2dLayer(1, 1, 3, padding=-1)
+        conv = BayesianConv2dLayer(2, 1, 3)
+        with pytest.raises(ConfigurationError):
+            conv.forward(np.zeros((1, 3, 5, 5)))
+        with pytest.raises(ConfigurationError):
+            conv.backward(np.zeros((1, 1, 3, 3)), 0.0, GaussianPrior(1.0))
+
+    def test_weight_count(self):
+        conv = BayesianConv2dLayer(2, 4, kernel_size=3)
+        assert conv.weight_count() == 2 * 4 * 9 + 4
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2dLayer(2).forward(x)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_backward_routes_to_max(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool = MaxPool2dLayer(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == 4.0
+        assert grad[0, 0, 1, 1] == 1.0  # position of 5
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_tie_splitting(self):
+        x = np.ones((1, 1, 2, 2))
+        pool = MaxPool2dLayer(2)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        assert grad.sum() == pytest.approx(1.0)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2dLayer(2).forward(np.zeros((1, 1, 5, 5)))
+
+
+class TestBayesianConvNetwork:
+    def test_learns_tiny_image_task(self):
+        # Two classes distinguished by which half of the image is bright —
+        # exactly what one conv stage can learn quickly.
+        rng = np.random.default_rng(7)
+        n = 80
+        labels = rng.integers(0, 2, n)
+        x = rng.normal(0, 0.1, (n, 1, 8, 8))
+        for i in range(n):
+            if labels[i]:
+                x[i, 0, :, 4:] += 1.0
+            else:
+                x[i, 0, :, :4] += 1.0
+        network = BayesianConvNetwork(
+            (1, 8, 8), conv_channels=(4,), n_classes=2, seed=0, initial_sigma=0.02
+        )
+        optimizer = Adam(5e-3)
+        for _ in range(40):
+            network.train_step(x, labels, optimizer, kl_scale=1.0 / n)
+        acc = (network.predict(x, n_samples=10) == labels).mean()
+        assert acc > 0.9
+
+    def test_weight_count(self):
+        network = BayesianConvNetwork((1, 8, 8), conv_channels=(4,), n_classes=2)
+        expected = (1 * 4 * 9 + 4) + (4 * 4 * 4 * 2 + 2)
+        assert network.weight_count() == expected
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BayesianConvNetwork((1, 8), conv_channels=(4,))
+        with pytest.raises(ConfigurationError):
+            BayesianConvNetwork((1, 8, 8), conv_channels=())
+        with pytest.raises(ConfigurationError):
+            # 7x7 not poolable by 2 after padding-preserving conv.
+            BayesianConvNetwork((1, 7, 7), conv_channels=(4,))
+
+    def test_predict_proba_normalised(self):
+        network = BayesianConvNetwork((1, 8, 8), conv_channels=(2,), n_classes=3)
+        probs = network.predict_proba(np.zeros((2, 1, 8, 8)), n_samples=3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestConvScheduling:
+    def test_conv_layer_schedule(self):
+        from repro.hw.config import ArchitectureConfig
+        from repro.hw.controller import schedule_conv_layer
+
+        cfg = ArchitectureConfig.paper()
+        schedule = schedule_conv_layer(
+            cfg, input_shape=(1, 28, 28), out_channels=8, kernel_size=3, padding=1
+        )
+        # 28x28x8 = 6272 neurons of patch size 9.
+        assert schedule.in_features == 9
+        assert schedule.out_features == 6272
+        assert schedule.iterations == 2  # ceil(9/8)
+        assert schedule.groups == 49     # ceil(6272/128)
+        assert schedule.compute_cycles == 98
+
+    def test_conv_schedule_validation(self):
+        from repro.errors import SchedulingError
+        from repro.hw.config import ArchitectureConfig
+        from repro.hw.controller import schedule_conv_layer
+
+        with pytest.raises(SchedulingError):
+            schedule_conv_layer(
+                ArchitectureConfig.paper(), (0, 8, 8), out_channels=4, kernel_size=3
+            )

@@ -1,0 +1,101 @@
+"""Tests for deterministic layers (dense, dropout) with gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.layers import DenseLayer, DropoutLayer
+from repro.bnn.losses import cross_entropy_loss
+from repro.errors import ConfigurationError
+
+
+class TestDenseLayer:
+    def test_forward_affine(self):
+        layer = DenseLayer(3, 2, seed=0)
+        layer.weights = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer.bias = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out, [[4.5, 4.5]])
+
+    def test_backward_gradients_numerical(self):
+        rng = np.random.default_rng(0)
+        layer = DenseLayer(4, 3, seed=1)
+        x = rng.standard_normal((5, 4))
+        labels = np.array([0, 1, 2, 0, 1])
+
+        def loss_fn():
+            logits = layer.forward(x)
+            loss, _ = cross_entropy_loss(logits, labels)
+            return loss
+
+        logits = layer.forward(x)
+        _, grad_out = cross_entropy_loss(logits, labels)
+        layer.backward(grad_out)
+        eps = 1e-6
+        for index in [(0, 0), (2, 1), (3, 2)]:
+            layer.weights[index] += eps
+            up = loss_fn()
+            layer.weights[index] -= 2 * eps
+            down = loss_fn()
+            layer.weights[index] += eps
+            assert layer.grad_weights[index] == pytest.approx(
+                (up - down) / (2 * eps), abs=1e-5
+            )
+
+    def test_backward_input_gradient_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = DenseLayer(3, 2, seed=3)
+        x = rng.standard_normal((2, 3))
+        labels = np.array([0, 1])
+        logits = layer.forward(x)
+        _, grad_out = cross_entropy_loss(logits, labels)
+        grad_x = layer.backward(grad_out)
+        eps = 1e-6
+        x_bumped = x.copy()
+        x_bumped[1, 2] += eps
+        up, _ = cross_entropy_loss(layer.forward(x_bumped), labels)
+        x_bumped[1, 2] -= 2 * eps
+        down, _ = cross_entropy_loss(layer.forward(x_bumped), labels)
+        assert grad_x[1, 2] == pytest.approx((up - down) / (2 * eps), abs=1e-5)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ConfigurationError):
+            DenseLayer(2, 2).backward(np.zeros((1, 2)))
+
+    def test_input_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            DenseLayer(3, 2).forward(np.zeros((1, 4)))
+
+    def test_he_initialisation_scale(self):
+        layer = DenseLayer(1000, 50, seed=4)
+        assert layer.weights.std() == pytest.approx(np.sqrt(2 / 1000), rel=0.1)
+
+
+class TestDropoutLayer:
+    def test_identity_at_inference(self):
+        layer = DropoutLayer(0.5, seed=0)
+        x = np.ones((4, 4))
+        assert (layer.forward(x, training=False) == x).all()
+
+    def test_inverted_scaling_preserves_mean(self):
+        layer = DropoutLayer(0.5, seed=1)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_mask_applied_in_backward(self):
+        layer = DropoutLayer(0.5, seed=2)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones((10, 10)))
+        assert ((out == 0) == (grad == 0)).all()
+
+    def test_zero_rate_is_identity(self):
+        layer = DropoutLayer(0.0)
+        x = np.random.default_rng(3).standard_normal((3, 3))
+        assert (layer.forward(x, training=True) == x).all()
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            DropoutLayer(1.0)
+        with pytest.raises(ConfigurationError):
+            DropoutLayer(-0.1)

@@ -1,0 +1,169 @@
+"""Tests for the fixed-point BNN inference path (Fig. 18 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import Adam, BayesianNetwork, Trainer, accuracy
+from repro.bnn.quantized import (
+    RLF_CODE_OFFSET,
+    RLF_SIGMA_SHIFT,
+    QuantizedBayesianNetwork,
+    activation_format,
+    epsilon_format,
+    weight_format,
+)
+from repro.errors import ConfigurationError
+from repro.grng import BnnWallaceGrng, NumpyGrng, ParallelRlfGrng
+
+
+def _trained_network(seed=0):
+    rng = np.random.default_rng(seed)
+    n = 150
+    labels = rng.integers(0, 3, n)
+    x = rng.normal(0, 0.3, (n, 10)) + np.eye(3)[labels] @ rng.normal(
+        0, 1.0, (3, 10)
+    )
+    network = BayesianNetwork((10, 12, 3), seed=seed, initial_sigma=0.02)
+    Trainer(network, Adam(5e-3), batch_size=25, epochs=25, seed=0).fit(x, labels)
+    return network, x, labels
+
+
+class TestFormats:
+    def test_constants(self):
+        # sqrt(255/4) = 7.98 ~ 2**3: the hardware's shift standardisation.
+        assert 2**RLF_SIGMA_SHIFT == 8
+        assert RLF_CODE_OFFSET == 128
+
+    def test_8bit_formats(self):
+        assert weight_format(8).total_bits == 8
+        assert weight_format(8).integer_bits == 0       # Q0.7: +-1 range
+        assert activation_format(8).integer_bits == 3   # Q3.4: +-8 range
+        assert activation_format(8).total_bits == 8
+        assert epsilon_format(8).integer_bits == 2      # Q2.5: +-4 range
+
+    def test_weight_resolution_finer_than_activation(self):
+        assert weight_format(8).resolution < activation_format(8).resolution
+
+
+class TestQuantizedNetwork:
+    def test_empty_posterior_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantizedBayesianNetwork([], bit_length=8)
+
+    def test_bit_length_validation(self):
+        network = BayesianNetwork((4, 2), seed=0)
+        with pytest.raises(ConfigurationError):
+            QuantizedBayesianNetwork(network.posterior_parameters(), bit_length=3)
+
+    def test_layer_sizes_derived(self):
+        network = BayesianNetwork((7, 5, 2), seed=1)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=8
+        )
+        assert quantized.layer_sizes == (7, 5, 2)
+
+    def test_8bit_accuracy_close_to_float(self):
+        network, x, labels = _trained_network()
+        float_acc = accuracy(network.predict(x, n_samples=10), labels)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=8, seed=0
+        )
+        q_acc = accuracy(quantized.predict(x, n_samples=10), labels)
+        assert float_acc > 0.9
+        assert q_acc > float_acc - 0.05  # Table 6: ~0.3% degradation at 8 bits
+
+    def test_16bit_nearly_exact(self):
+        network, x, labels = _trained_network(seed=1)
+        float_acc = accuracy(network.predict(x, n_samples=10), labels)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=16, seed=0
+        )
+        q_acc = accuracy(quantized.predict(x, n_samples=10), labels)
+        assert q_acc > float_acc - 0.03
+
+    def test_low_bitwidth_degrades(self):
+        # Fig. 18's cliff: 4-bit should be clearly worse than 8/16-bit.
+        network, x, labels = _trained_network(seed=2)
+        accuracies = {}
+        for bits in (4, 8, 16):
+            quantized = QuantizedBayesianNetwork(
+                network.posterior_parameters(), bit_length=bits, seed=0
+            )
+            accuracies[bits] = accuracy(quantized.predict(x, n_samples=10), labels)
+        assert accuracies[8] >= accuracies[4]
+        assert accuracies[16] >= accuracies[4]
+
+    def test_rlf_grng_integer_path(self):
+        network, x, labels = _trained_network(seed=3)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(),
+            bit_length=8,
+            grng=ParallelRlfGrng(lanes=8, seed=0),
+        )
+        q_acc = accuracy(quantized.predict(x, n_samples=10), labels)
+        assert q_acc > 0.8
+
+    def test_wallace_grng_float_path(self):
+        network, x, labels = _trained_network(seed=4)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(),
+            bit_length=8,
+            grng=BnnWallaceGrng(units=2, pool_size=64, seed=0),
+        )
+        q_acc = accuracy(quantized.predict(x, n_samples=10), labels)
+        assert q_acc > 0.8
+
+    def test_forward_codes_within_activation_format(self):
+        network, x, _ = _trained_network(seed=5)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=8, grng=NumpyGrng(0)
+        )
+        codes = quantized.forward_sample_codes(
+            quantized.act_fmt.quantize(x[:5])
+        )
+        assert codes.max() <= quantized.act_fmt.max_int
+        assert codes.min() >= quantized.act_fmt.min_int
+
+    def test_forward_codes_shape_validation(self):
+        network, _, _ = _trained_network(seed=6)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=8
+        )
+        with pytest.raises(ConfigurationError):
+            quantized.forward_sample_codes(np.zeros((1, 99), dtype=np.int64))
+
+    def test_n_samples_validation(self):
+        network, x, _ = _trained_network(seed=7)
+        quantized = QuantizedBayesianNetwork(
+            network.posterior_parameters(), bit_length=8
+        )
+        with pytest.raises(ConfigurationError):
+            quantized.predict(x, n_samples=0)
+
+    def test_deterministic_given_seed_and_grng(self):
+        network, x, _ = _trained_network(seed=8)
+
+        def run():
+            quantized = QuantizedBayesianNetwork(
+                network.posterior_parameters(),
+                bit_length=8,
+                grng=ParallelRlfGrng(lanes=8, seed=5),
+            )
+            return quantized.predict_proba(x[:10], n_samples=3)
+
+        assert np.allclose(run(), run())
+
+    def test_bias_preserved_at_accumulator_precision(self):
+        # A tiny bias far below the activation resolution must still move
+        # the output — it is added before the requantize shift.
+        posterior = [
+            {
+                "mu_weights": np.zeros((2, 1)),
+                "sigma_weights": np.zeros((2, 1)),
+                "mu_bias": np.array([0.06]),  # < act resolution (1/16)
+                "sigma_bias": np.zeros(1),
+            }
+        ]
+        quantized = QuantizedBayesianNetwork(posterior, bit_length=8, grng=NumpyGrng(0))
+        out = quantized.forward_sample_codes(np.zeros((1, 2), dtype=np.int64))
+        assert out[0, 0] == 1  # rounds up to one activation LSB

@@ -1,0 +1,67 @@
+"""Tests for Bayesian regression with predictive uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import Adam
+from repro.bnn.regression import BayesianRegressor
+from repro.errors import ConfigurationError
+
+
+def _sine_data(n=120, seed=0, noise=0.05, lo=-1.0, hi=1.0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(lo, hi, (n, 1))
+    y = np.sin(3.0 * x) + rng.normal(0, noise, (n, 1))
+    return x, y
+
+
+class TestBayesianRegressor:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BayesianRegressor((1,))
+        with pytest.raises(ConfigurationError):
+            BayesianRegressor((1, 8, 1), noise_sigma=0)
+
+    def test_fits_sine(self):
+        x, y = _sine_data()
+        model = BayesianRegressor((1, 24, 24, 1), noise_sigma=0.1, seed=0, initial_sigma=0.02)
+        history = model.fit(x, y, Adam(5e-3), epochs=150, batch_size=32, seed=0)
+        assert history[-1] < history[0]
+        mean, _ = model.predict(x, n_samples=30)
+        rmse = float(np.sqrt(((mean - y) ** 2).mean()))
+        assert rmse < 0.25
+
+    def test_uncertainty_grows_off_data(self):
+        # The BNN hallmark: predictive std is larger outside the training
+        # support than inside it.
+        x, y = _sine_data(lo=-1.0, hi=1.0)
+        model = BayesianRegressor((1, 24, 24, 1), noise_sigma=0.1, seed=1, initial_sigma=0.05)
+        model.fit(x, y, Adam(5e-3), epochs=150, batch_size=32, seed=1)
+        inside = np.linspace(-0.8, 0.8, 20)[:, None]
+        outside = np.concatenate(
+            [np.linspace(-3.0, -2.0, 10), np.linspace(2.0, 3.0, 10)]
+        )[:, None]
+        _, std_in = model.predict(inside, n_samples=50)
+        _, std_out = model.predict(outside, n_samples=50)
+        assert std_out.mean() > std_in.mean()
+
+    def test_predictive_std_at_least_noise(self):
+        x, y = _sine_data()
+        model = BayesianRegressor((1, 8, 1), noise_sigma=0.2, seed=2)
+        _, std = model.predict(x, n_samples=10)
+        assert (std >= 0.2 - 1e-9).all()
+
+    def test_shape_mismatch_rejected(self):
+        model = BayesianRegressor((2, 4, 1), seed=3)
+        with pytest.raises(ConfigurationError):
+            model.train_step(np.zeros((4, 2)), np.zeros((4, 2)), Adam(), 0.0)
+
+    def test_kl_scale_validation(self):
+        model = BayesianRegressor((1, 4, 1), seed=4)
+        with pytest.raises(ConfigurationError):
+            model.train_step(np.zeros((2, 1)), np.zeros((2, 1)), Adam(), -1.0)
+
+    def test_epochs_validation(self):
+        model = BayesianRegressor((1, 4, 1), seed=5)
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((2, 1)), np.zeros((2, 1)), Adam(), epochs=0)

@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "rlf" in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope"])
+
+    def test_run_fast_experiment(self, capsys, tmp_path):
+        assert main(["run", "table2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_grng_quality(self, capsys):
+        assert main(["grng", "bnnwallace", "--samples", "2000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma err" in out and "runs test" in out
+
+    def test_design_space(self, capsys):
+        assert main(["design-space", "--top", "3", "--max-pe-sets", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "img/s" in out
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

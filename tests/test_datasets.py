@@ -1,0 +1,138 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import Adam, FeedForwardNetwork, Trainer, accuracy
+from repro.datasets import (
+    DISEASE_DATASETS,
+    DigitImageGenerator,
+    TabularSpec,
+    load_digits_split,
+    load_tabular_split,
+    make_tabular,
+)
+from repro.datasets.digits import DIGIT_STROKES, IMAGE_SIZE, N_CLASSES
+from repro.errors import DatasetError
+
+
+class TestDigitGenerator:
+    def test_render_shape_and_range(self):
+        gen = DigitImageGenerator(seed=0)
+        for digit in range(10):
+            image = gen.render(digit)
+            assert image.shape == (IMAGE_SIZE, IMAGE_SIZE)
+            assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_all_digits_have_strokes(self):
+        assert sorted(DIGIT_STROKES) == list(range(10))
+
+    def test_generate_shapes(self):
+        images, labels = DigitImageGenerator(seed=1).generate(50)
+        assert images.shape == (50, 784)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)).issubset(set(range(N_CLASSES)))
+
+    def test_deterministic_given_seed(self):
+        a, la = DigitImageGenerator(seed=2).generate(10)
+        b, lb = DigitImageGenerator(seed=2).generate(10)
+        assert (a == b).all() and (la == lb).all()
+
+    def test_samples_of_same_class_differ(self):
+        gen = DigitImageGenerator(seed=3)
+        assert not np.allclose(gen.render(5), gen.render(5))
+
+    def test_zero_deformation_is_stable_geometry(self):
+        gen = DigitImageGenerator(seed=4, noise=0.0, deformation=0.0)
+        assert np.allclose(gen.render(7), gen.render(7))
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            DigitImageGenerator(noise=-0.1)
+        with pytest.raises(DatasetError):
+            DigitImageGenerator(deformation=-1)
+        with pytest.raises(DatasetError):
+            DigitImageGenerator().render(10)
+        with pytest.raises(DatasetError):
+            DigitImageGenerator().generate(0)
+
+    def test_task_is_learnable(self):
+        # A small MLP must beat chance comfortably: the dataset carries
+        # real class structure, which every accuracy experiment relies on.
+        x_tr, y_tr, x_te, y_te = load_digits_split(400, 150, seed=5)
+        fnn = FeedForwardNetwork((784, 32, 10), seed=0)
+        Trainer(fnn, Adam(2e-3), batch_size=32, epochs=10, seed=0).fit(x_tr, y_tr)
+        assert accuracy(fnn.predict(x_te), y_te) > 0.6
+
+    def test_split_streams_independent(self):
+        x_tr, _, x_te, _ = load_digits_split(20, 20, seed=6)
+        assert not np.allclose(x_tr, x_te)
+
+
+class TestTabular:
+    def test_registry_covers_table7(self):
+        for name in (
+            "parkinson-original",
+            "parkinson-modified",
+            "retinopathy",
+            "thoracic",
+            "tox21-nr-ahr",
+            "tox21-sr-are",
+            "tox21-sr-atad5",
+            "tox21-sr-mmp",
+            "tox21-sr-p53",
+        ):
+            assert name in DISEASE_DATASETS
+
+    def test_shapes_match_spec(self):
+        for name, spec in DISEASE_DATASETS.items():
+            if spec.n_features > 100:
+                continue  # TOX21 checked separately, once, for speed
+            x_tr, y_tr, x_te, y_te = load_tabular_split(name, seed=0)
+            assert x_tr.shape == (spec.n_train, spec.n_features)
+            assert x_te.shape == (spec.n_test, spec.n_features)
+
+    def test_tox21_shape(self):
+        spec = DISEASE_DATASETS["tox21-nr-ahr"]
+        x_tr, y_tr, _, _ = load_tabular_split("tox21-nr-ahr", seed=0)
+        assert x_tr.shape == (spec.n_train, 801)
+
+    def test_imbalance_respected(self):
+        spec = DISEASE_DATASETS["thoracic"]
+        _, labels = make_tabular(spec, seed=1, count=5000)
+        majority = (labels == 0).mean()
+        assert 0.75 < majority < 0.93  # priors (0.85, 0.15) + label noise
+
+    def test_columns_standardised(self):
+        features, _ = make_tabular(DISEASE_DATASETS["retinopathy"], seed=2)
+        assert np.allclose(features.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(features.std(axis=0), 1.0, atol=1e-6)
+
+    def test_learnable(self):
+        x_tr, y_tr, x_te, y_te = load_tabular_split("parkinson-original", seed=0)
+        fnn = FeedForwardNetwork((26, 16, 2), seed=0)
+        Trainer(fnn, Adam(2e-3), batch_size=32, epochs=15, seed=0).fit(x_tr, y_tr)
+        assert accuracy(fnn.predict(x_te), y_te) > 0.7
+
+    def test_deterministic(self):
+        a, la = make_tabular(DISEASE_DATASETS["thoracic"], seed=3)
+        b, lb = make_tabular(DISEASE_DATASETS["thoracic"], seed=3)
+        assert (a == b).all() and (la == lb).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_tabular_split("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 0, 1, 2, 10, 10)
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 4, 8, 2, 10, 10)
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 4, 2, 1, 10, 10)
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 4, 2, 2, 10, 10, label_noise=0.7)
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 4, 2, 2, 10, 10, class_priors=(0.5, 0.4))
+        with pytest.raises(DatasetError):
+            TabularSpec("bad", 4, 2, 2, 10, 10, class_priors=(0.5, 0.3, 0.2))

@@ -1,0 +1,100 @@
+"""Unit tests for repro.fixedpoint.ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FixedPointOverflowError
+from repro.fixedpoint import QFormat, fixed_add, fixed_dot, fixed_mul, requantize, saturate
+
+FMT = QFormat(2, 5)
+
+
+class TestSaturate:
+    def test_in_range_untouched(self):
+        assert saturate(np.array([5, -5]), FMT).tolist() == [5, -5]
+
+    def test_clamps(self):
+        assert saturate(np.array([1000, -1000]), FMT).tolist() == [127, -128]
+
+    def test_strict_raises(self):
+        with pytest.raises(FixedPointOverflowError):
+            saturate(np.array([1000]), FMT, strict=True)
+
+    def test_strict_ok_in_range(self):
+        saturate(np.array([127, -128]), FMT, strict=True)
+
+
+class TestFixedAdd:
+    def test_matches_float_when_exact(self):
+        a = FMT.quantize(np.array([0.5, 1.0]))
+        b = FMT.quantize(np.array([0.25, -0.5]))
+        out = fixed_add(a, b, FMT)
+        assert FMT.dequantize(out).tolist() == [0.75, 0.5]
+
+    def test_saturating(self):
+        a = np.array([FMT.max_int])
+        out = fixed_add(a, a, FMT)
+        assert out[0] == FMT.max_int
+
+
+class TestFixedMul:
+    def test_exact_product(self):
+        a = FMT.quantize(0.5)
+        b = FMT.quantize(2.0)
+        out = fixed_mul(np.array([a]), np.array([b]), FMT)
+        assert FMT.dequantize(out)[0] == pytest.approx(1.0)
+
+    def test_rounding_error_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-1.5, 1.5, 200)
+        b = rng.uniform(-1.5, 1.5, 200)
+        got = FMT.dequantize(fixed_mul(FMT.quantize(a), FMT.quantize(b), FMT))
+        exact = FMT.roundtrip(a) * FMT.roundtrip(b)
+        assert np.abs(got - np.clip(exact, FMT.min_value, FMT.max_value)).max() <= FMT.resolution
+
+    def test_saturates_on_overflow(self):
+        big = np.array([FMT.quantize(3.9)])
+        out = fixed_mul(big, big, FMT)
+        assert out[0] == FMT.max_int
+
+
+class TestFixedDot:
+    def test_matches_wide_reference(self):
+        rng = np.random.default_rng(1)
+        w = FMT.quantize(rng.uniform(-1, 1, (4, 16)))
+        x = FMT.quantize(rng.uniform(-1, 1, 16))
+        got = fixed_dot(w, x, FMT)
+        wide = (w.astype(np.int64) * x.astype(np.int64)).sum(axis=1)
+        want = requantize(wide, 2 * FMT.frac_bits, FMT)
+        assert (got == want).all()
+
+    def test_accumulator_not_saturated_internally(self):
+        # Products alternate huge positive / huge negative; the final sum is
+        # tiny.  A datapath that saturated per-term would get this wrong.
+        w = np.array([FMT.max_int, FMT.min_int] * 8)
+        x = np.array([FMT.max_int] * 16)
+        out = fixed_dot(w, x, FMT)
+        wide = (w.astype(np.int64) * x.astype(np.int64)).sum()
+        assert out == requantize(wide, 2 * FMT.frac_bits, FMT)
+
+
+class TestRequantize:
+    def test_identity_shift(self):
+        assert requantize(np.array([10]), FMT.frac_bits, FMT)[0] == 10
+
+    def test_rounds_half_away_from_zero(self):
+        # One extra frac bit: code 3 (=1.5 ulp) rounds to 2; -3 to -2.
+        out = requantize(np.array([3, -3]), FMT.frac_bits + 1, FMT)
+        assert out.tolist() == [2, -2]
+
+    def test_left_shift_exact(self):
+        out = requantize(np.array([3]), FMT.frac_bits - 2, FMT)
+        assert out[0] == 12
+
+    @given(st.integers(min_value=-(2**30), max_value=2**30))
+    def test_requantize_close_to_float_division(self, wide):
+        out = requantize(np.array([wide]), 2 * FMT.frac_bits, FMT)[0]
+        expected = np.clip(round(wide / FMT.scale), FMT.min_int, FMT.max_int)
+        assert abs(int(out) - int(expected)) <= 1  # ties may differ in direction

@@ -1,0 +1,99 @@
+"""Unit tests for repro.fixedpoint.qformat."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat
+
+
+class TestConstruction:
+    def test_total_bits(self):
+        assert QFormat(2, 5).total_bits == 8
+
+    def test_scale(self):
+        assert QFormat(2, 5).scale == 32
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(-1, 5)
+        with pytest.raises(ConfigurationError):
+            QFormat(2, -1)
+
+    def test_rejects_sign_only(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(0, 0)
+
+    def test_for_bit_length_matches_paper_8bit(self):
+        fmt = QFormat.for_bit_length(8)
+        assert fmt.total_bits == 8
+        assert fmt.integer_bits == 2
+
+    def test_for_bit_length_too_small(self):
+        with pytest.raises(ConfigurationError):
+            QFormat.for_bit_length(3)
+
+
+class TestRanges:
+    def test_8bit_range(self):
+        fmt = QFormat(2, 5)
+        assert fmt.max_int == 127
+        assert fmt.min_int == -128
+        assert fmt.max_value == pytest.approx(127 / 32)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_resolution(self):
+        assert QFormat(2, 5).resolution == pytest.approx(1 / 32)
+
+    def test_contains(self):
+        fmt = QFormat(2, 5)
+        assert fmt.contains(0.0)
+        assert fmt.contains(fmt.max_value)
+        assert not fmt.contains(fmt.max_value + 0.1)
+
+
+class TestQuantize:
+    def test_exact_values(self):
+        fmt = QFormat(2, 5)
+        assert fmt.quantize(1.5) == 48
+        assert fmt.dequantize(48) == 1.5
+
+    def test_rounds_half_away_from_zero(self):
+        fmt = QFormat(2, 5)
+        # 0.5 ulp = 1/64 -> rounds away from zero.
+        assert fmt.quantize(1 / 64) == 1
+        assert fmt.quantize(-1 / 64) == -1
+
+    def test_saturates(self):
+        fmt = QFormat(2, 5)
+        assert fmt.quantize(100.0) == fmt.max_int
+        assert fmt.quantize(-100.0) == fmt.min_int
+
+    def test_array_in_array_out(self):
+        fmt = QFormat(2, 5)
+        codes = fmt.quantize(np.array([0.0, 1.0, -1.0]))
+        assert codes.tolist() == [0, 32, -32]
+        assert isinstance(fmt.quantize(0.25), int)
+
+    def test_roundtrip_error_bounded_by_half_ulp(self):
+        fmt = QFormat(2, 5)
+        values = np.linspace(-3.9, 3.9, 1001)
+        err = np.abs(fmt.roundtrip(values) - values)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    @given(st.floats(min_value=-3.9, max_value=3.9))
+    def test_roundtrip_property(self, value):
+        fmt = QFormat(2, 5)
+        assert abs(fmt.roundtrip(value) - value) <= fmt.resolution / 2 + 1e-12
+
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_quantize_is_monotone(self, int_bits, frac_bits):
+        fmt = QFormat(int_bits, frac_bits)
+        values = np.linspace(fmt.min_value * 1.5, fmt.max_value * 1.5, 101)
+        codes = fmt.quantize(values)
+        assert (np.diff(codes) >= 0).all()

@@ -1,0 +1,105 @@
+"""Tests for the bit-level randomness battery and the LUT-ICDF generator."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.grng.bittests import (
+    battery,
+    bit_runs_test,
+    monobit_test,
+    poker_test,
+    serial_pair_test,
+)
+from repro.grng.lut_icdf import LutIcdfGrng
+from repro.rng.lfsr import FibonacciLfsr
+
+
+def _random_bits(n=20_000, seed=0):
+    return np.random.default_rng(seed).integers(0, 2, n)
+
+
+def _lfsr_bits(n=20_000, width=16, seed=1):
+    lfsr = FibonacciLfsr(width, seed=seed)
+    return np.array([lfsr.step() for _ in range(n)])
+
+
+class TestBattery:
+    def test_random_stream_passes_all(self):
+        results = battery(_random_bits())
+        assert all(r["passed"] for r in results.values()), results
+
+    def test_maximal_lfsr_passes_all(self):
+        # A maximal-length LFSR bit stream passes these first-order tests
+        # (its defects are higher-order linear relations).
+        results = battery(_lfsr_bits())
+        assert all(r["passed"] for r in results.values()), results
+
+    def test_biased_stream_fails_monobit(self):
+        bits = (np.random.default_rng(2).random(20_000) < 0.55).astype(int)
+        _, p = monobit_test(bits)
+        assert p < 0.01
+
+    def test_alternating_stream_fails_runs(self):
+        bits = np.tile([0, 1], 10_000)
+        _, p = bit_runs_test(bits)
+        assert p < 1e-10
+
+    def test_patterned_stream_fails_poker(self):
+        bits = np.tile([0, 0, 0, 1], 5_000)
+        _, p = poker_test(bits)
+        assert p < 1e-10
+
+    def test_correlated_pairs_fail_serial(self):
+        rng = np.random.default_rng(3)
+        bits = np.empty(20_000, dtype=int)
+        bits[0] = 0
+        for i in range(1, bits.size):  # sticky stream
+            bits[i] = bits[i - 1] if rng.random() < 0.8 else 1 - bits[i - 1]
+        _, p = serial_pair_test(bits)
+        assert p < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            monobit_test(np.zeros(10))
+        with pytest.raises(ConfigurationError):
+            monobit_test(np.full(200, 2))
+        with pytest.raises(ConfigurationError):
+            poker_test(_random_bits(), block=1)
+
+
+class TestLutIcdf:
+    def test_segments_validation(self):
+        with pytest.raises(ConfigurationError):
+            LutIcdfGrng(segments=100)
+        with pytest.raises(ConfigurationError):
+            LutIcdfGrng(segments=4)
+
+    def test_distribution(self):
+        samples = LutIcdfGrng(segments=256, seed=0).generate(30_000)
+        assert abs(samples.mean()) < 0.03
+        assert abs(samples.std() - 1.0) < 0.03
+        _, p = stats.kstest(samples, "norm")
+        assert p > 1e-4
+
+    def test_symmetry(self):
+        samples = LutIcdfGrng(segments=128, seed=1).generate(40_000)
+        assert abs((samples > 0).mean() - 0.5) < 0.01
+
+    def test_more_segments_better_fit(self):
+        coarse = LutIcdfGrng(segments=8, seed=2).generate(40_000)
+        fine = LutIcdfGrng(segments=1024, seed=2).generate(40_000)
+        ks_coarse, _ = stats.kstest(coarse, "norm")
+        ks_fine, _ = stats.kstest(fine, "norm")
+        assert ks_fine < ks_coarse
+
+    def test_cost_model_scales(self):
+        small = LutIcdfGrng(segments=64)
+        large = LutIcdfGrng(segments=1024)
+        assert large.table_bits > small.table_bits
+        assert large.table_bits == (1024 + 1) * 16
+
+    def test_finite(self):
+        samples = LutIcdfGrng(seed=3).generate(10_000)
+        assert np.isfinite(samples).all()

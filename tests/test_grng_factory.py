@@ -1,0 +1,37 @@
+"""Tests for the GRNG registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grng import Grng, available_grngs, make_grng
+from repro.grng.base import NumpyGrng
+
+
+class TestFactory:
+    def test_all_registered_names_construct(self):
+        for name in available_grngs():
+            grng = make_grng(name, seed=0)
+            assert isinstance(grng, Grng)
+
+    def test_all_generators_produce_requested_count(self):
+        for name in available_grngs():
+            samples = make_grng(name, seed=0).generate(64)
+            assert samples.shape == (64,)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown GRNG"):
+            make_grng("nope")
+
+    def test_table1_rows_present(self):
+        names = available_grngs()
+        for required in ("rlf", "bnnwallace", "wallace-nss", "wallace-256", "wallace-1024", "wallace-4096"):
+            assert required in names
+
+    def test_seed_changes_stream(self):
+        a = make_grng("bnnwallace", seed=0).generate(32)
+        b = make_grng("bnnwallace", seed=1).generate(32)
+        assert (a != b).any()
+
+    def test_codes_unavailable_for_float_generators(self):
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            NumpyGrng(0).generate_codes(4)

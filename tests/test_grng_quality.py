@@ -1,0 +1,158 @@
+"""Tests for the GRNG quality metrics (repro.grng.quality)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grng import NumpyGrng
+from repro.grng.quality import (
+    RunsTestResult,
+    autocorrelation,
+    chi_square_normal,
+    ks_normal,
+    pass_rate,
+    runs_test,
+    stability_error,
+)
+
+
+class TestStabilityError:
+    def test_exact_standard_normal_stats(self):
+        samples = np.array([-1.0, 1.0, -1.0, 1.0])
+        result = stability_error(samples)
+        assert result.mu_error == 0.0
+        assert result.sigma_error == pytest.approx(abs(math.sqrt(4 / 3) - 1))
+
+    def test_shifted_mean_detected(self):
+        rng = np.random.default_rng(0)
+        result = stability_error(rng.standard_normal(50_000) + 0.5)
+        assert result.mu_error == pytest.approx(0.5, abs=0.02)
+
+    def test_scaled_sigma_detected(self):
+        rng = np.random.default_rng(1)
+        result = stability_error(2.0 * rng.standard_normal(50_000))
+        assert result.sigma_error == pytest.approx(1.0, abs=0.05)
+
+    def test_custom_target(self):
+        rng = np.random.default_rng(2)
+        samples = 3.0 + 2.0 * rng.standard_normal(50_000)
+        result = stability_error(samples, target_mu=3.0, target_sigma=2.0)
+        assert result.mu_error < 0.05
+        assert result.sigma_error < 0.05
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            stability_error(np.array([1.0]))
+
+
+class TestRunsTest:
+    def test_random_sequence_passes(self):
+        rng = np.random.default_rng(3)
+        assert runs_test(rng.standard_normal(10_000)).passed()
+
+    def test_alternating_sequence_fails(self):
+        # Perfectly alternating: far too many runs.
+        samples = np.tile([1.0, -1.0], 5000)
+        result = runs_test(samples)
+        assert not result.passed()
+        assert result.z_statistic > 0
+
+    def test_monotone_sequence_fails(self):
+        result = runs_test(np.linspace(0, 1, 1000))
+        assert not result.passed()
+        assert result.z_statistic < 0
+
+    def test_constant_blocks_fail(self):
+        samples = np.concatenate([np.full(500, -1.0), np.full(500, 1.0)])
+        assert not runs_test(samples).passed()
+
+    def test_median_values_dropped(self):
+        # Matlab-compatible: exact-median samples are discarded.
+        samples = np.concatenate([np.zeros(100), np.random.default_rng(4).standard_normal(1000)])
+        result = runs_test(samples)
+        assert result.n_above + result.n_below <= 1100
+
+    def test_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            runs_test(np.arange(5, dtype=float))
+
+    def test_false_positive_rate_near_alpha(self):
+        # Calibration: ~5% of truly random sequences should fail at 0.05.
+        rng = np.random.default_rng(5)
+        fails = sum(
+            not runs_test(rng.standard_normal(2000)).passed() for _ in range(200)
+        )
+        assert 0 <= fails <= 30  # 5% nominal; allow generous slack
+
+    def test_result_dataclass_fields(self):
+        result = runs_test(np.random.default_rng(6).standard_normal(100))
+        assert isinstance(result, RunsTestResult)
+        assert result.runs >= 1
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestKsAndChiSquare:
+    def test_ks_accepts_normal(self):
+        rng = np.random.default_rng(7)
+        _, p = ks_normal(rng.standard_normal(10_000))
+        assert p > 0.001
+
+    def test_ks_rejects_uniform(self):
+        rng = np.random.default_rng(8)
+        _, p = ks_normal(rng.random(10_000))
+        assert p < 1e-6
+
+    def test_chi_square_accepts_normal(self):
+        rng = np.random.default_rng(9)
+        _, p = chi_square_normal(rng.standard_normal(20_000))
+        assert p > 0.001
+
+    def test_chi_square_rejects_shifted(self):
+        rng = np.random.default_rng(10)
+        _, p = chi_square_normal(rng.standard_normal(20_000) + 1.0)
+        assert p < 1e-6
+
+    def test_chi_square_bins_validation(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_normal(np.zeros(100), bins=2)
+
+
+class TestAutocorrelation:
+    def test_iid_near_zero(self):
+        rng = np.random.default_rng(11)
+        assert abs(autocorrelation(rng.standard_normal(50_000), 1)) < 0.02
+
+    def test_walk_near_one(self):
+        rng = np.random.default_rng(12)
+        walk = np.cumsum(rng.standard_normal(10_000))
+        assert autocorrelation(walk, 1) > 0.95
+
+    def test_lag_validation(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(np.zeros(10), 0)
+        with pytest.raises(ConfigurationError):
+            autocorrelation(np.zeros(10), 10)
+
+    def test_constant_sequence_zero(self):
+        assert autocorrelation(np.ones(100), 1) == 0.0
+
+
+class TestPassRate:
+    def test_good_generator_high_rate(self):
+        rate = pass_rate(lambda s: NumpyGrng(s), trials=20, samples_per_trial=2000)
+        assert rate >= 0.8
+
+    def test_custom_test(self):
+        rate = pass_rate(
+            lambda s: NumpyGrng(s),
+            trials=5,
+            samples_per_trial=100,
+            test=lambda samples: False,
+        )
+        assert rate == 0.0
+
+    def test_trials_validation(self):
+        with pytest.raises(ConfigurationError):
+            pass_rate(lambda s: NumpyGrng(s), trials=0, samples_per_trial=10)

@@ -1,0 +1,161 @@
+"""Integration tests for the assembled accelerator.
+
+The load-bearing checks:
+
+* the detailed word-level datapath (PE sets + packed dual-port memories)
+  computes bit-identical activations to the vectorised functional model;
+* the accelerator's functional output matches
+  :class:`~repro.bnn.quantized.QuantizedBayesianNetwork` exactly (same
+  GRNG, same formats);
+* cycle/energy accounting is consistent with the schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BayesianNetwork
+from repro.bnn.quantized import QuantizedBayesianNetwork
+from repro.errors import ConfigurationError
+from repro.fixedpoint import requantize
+from repro.grng import BnnWallaceGrng, ParallelRlfGrng
+from repro.hw.accelerator import (
+    DetailedDatapathSimulator,
+    VibnnAccelerator,
+    default_grng,
+)
+from repro.hw.config import ArchitectureConfig
+
+SMALL_CFG = ArchitectureConfig(pe_sets=2, pes_per_set=4, pe_inputs=4, bit_length=8)
+
+
+def _tiny_posterior(seed=0, sizes=(12, 9, 4)):
+    network = BayesianNetwork(sizes, seed=seed, initial_sigma=0.05)
+    return network.posterior_parameters(), sizes
+
+
+def _vectorised_layer(x_codes, w, b_acc, cfg, *, apply_relu):
+    """Reference math shared with QuantizedBayesianNetwork.forward_sample_codes."""
+    acc_frac = cfg.weight_format.frac_bits + cfg.activation_format.frac_bits
+    wide = x_codes.astype(np.int64) @ w.astype(np.int64) + b_acc
+    acc = requantize(wide, acc_frac, cfg.activation_format)
+    return np.maximum(acc, 0) if apply_relu else acc
+
+
+class TestDetailedDatapath:
+    def test_layer_matches_vectorised_reference(self):
+        rng = np.random.default_rng(0)
+        w_fmt = SMALL_CFG.weight_format
+        a_fmt = SMALL_CFG.activation_format
+        acc_frac = w_fmt.frac_bits + a_fmt.frac_bits
+        for in_f, out_f in [(4, 4), (10, 9), (16, 8), (7, 17)]:
+            w = w_fmt.quantize(rng.uniform(-0.9, 0.9, (in_f, out_f)))
+            b = np.round(rng.uniform(-0.5, 0.5, out_f) * (1 << acc_frac)).astype(np.int64)
+            x = a_fmt.quantize(rng.uniform(0, 1, in_f))
+            sim = DetailedDatapathSimulator(SMALL_CFG)
+            got = sim.run_layer(x, w, b, apply_relu=True)
+            want = _vectorised_layer(x[None, :], w, b, SMALL_CFG, apply_relu=True)[0]
+            assert (got == want).all(), (in_f, out_f)
+
+    def test_network_matches_functional_model(self):
+        posterior, sizes = _tiny_posterior()
+        grng = ParallelRlfGrng(lanes=8, seed=1)
+        functional = QuantizedBayesianNetwork(posterior, bit_length=8, grng=grng, seed=1)
+        x = np.random.default_rng(2).uniform(0, 1, (1, sizes[0]))
+        x_codes = functional.act_fmt.quantize(x)
+        # Sample the weights once through the functional model's updater...
+        sampled = [functional._sample_layer_weights(layer) for layer in functional.layers]
+        # ...and run them through BOTH datapaths.
+        sim = DetailedDatapathSimulator(SMALL_CFG)
+        detailed = sim.run_network(x_codes[0], sampled)
+        hidden = x_codes
+        for index, (w, b) in enumerate(sampled):
+            hidden = _vectorised_layer(
+                hidden, w, b, SMALL_CFG, apply_relu=(index < len(sampled) - 1)
+            )
+        assert (detailed == hidden[0]).all()
+
+    def test_port_budgets_respected(self):
+        # Runs without MemoryPortConflictError across several layer shapes.
+        rng = np.random.default_rng(3)
+        w_fmt = SMALL_CFG.weight_format
+        a_fmt = SMALL_CFG.activation_format
+        sim = DetailedDatapathSimulator(SMALL_CFG)
+        for _ in range(3):
+            w = w_fmt.quantize(rng.uniform(-0.9, 0.9, (12, 10)))
+            b = np.zeros(10, dtype=np.int64)
+            x = a_fmt.quantize(rng.uniform(0, 1, 12))
+            sim.run_layer(x, w, b, apply_relu=True)
+        assert sim.cycles > 0
+
+
+class TestVibnnAccelerator:
+    def test_matches_quantized_network_exactly(self):
+        posterior, sizes = _tiny_posterior(seed=4)
+        accelerator = VibnnAccelerator(SMALL_CFG, posterior, seed=7)
+        reference = QuantizedBayesianNetwork(
+            posterior,
+            bit_length=SMALL_CFG.bit_length,
+            grng=default_grng(SMALL_CFG, seed=7),
+            seed=7,
+        )
+        x = np.random.default_rng(5).uniform(0, 1, (6, sizes[0]))
+        got = accelerator.infer(x, n_samples=3)
+        want = reference.predict_proba(x, n_samples=3)
+        assert np.allclose(got.probabilities, want)
+
+    def test_inference_result_accounting(self):
+        posterior, sizes = _tiny_posterior(seed=6)
+        accelerator = VibnnAccelerator(SMALL_CFG, posterior, seed=0)
+        x = np.random.default_rng(6).uniform(0, 1, (4, sizes[0]))
+        result = accelerator.infer(x, n_samples=2)
+        assert result.n_images == 4
+        assert result.cycles == accelerator.schedule.cycles_per_image(2) * 4
+        assert result.images_per_second == pytest.approx(4 / result.seconds)
+        assert result.images_per_joule == pytest.approx(4 / result.joules)
+
+    def test_throughput_matches_schedule(self):
+        posterior, _ = _tiny_posterior(seed=8)
+        accelerator = VibnnAccelerator(SMALL_CFG, posterior, seed=0)
+        assert accelerator.images_per_second() == pytest.approx(
+            accelerator.schedule.images_per_second()
+        )
+
+    def test_wallace_grng_design(self):
+        cfg = ArchitectureConfig(
+            pe_sets=2, pes_per_set=4, pe_inputs=4, bit_length=8, grng_kind="bnnwallace"
+        )
+        assert isinstance(default_grng(cfg, 0), BnnWallaceGrng)
+        posterior, sizes = _tiny_posterior(seed=9)
+        accelerator = VibnnAccelerator(cfg, posterior, seed=0)
+        x = np.random.default_rng(7).uniform(0, 1, (2, sizes[0]))
+        result = accelerator.infer(x)
+        assert result.predictions.shape == (2,)
+
+    def test_accuracy_close_to_float_model(self):
+        # End-to-end sanity: the 8-bit accelerator should classify (almost)
+        # as well as the float software BNN on an easy separable task.
+        rng = np.random.default_rng(10)
+        n = 120
+        labels = rng.integers(0, 2, n)
+        x = rng.normal(0, 0.3, (n, 12)) + labels[:, None] * 1.5
+        network = BayesianNetwork((12, 8, 2), seed=11, initial_sigma=0.02)
+        from repro.bnn import Adam, Trainer
+
+        Trainer(network, Adam(5e-3), batch_size=16, epochs=30, seed=0).fit(x, labels)
+        float_acc = (network.predict(x, n_samples=10) == labels).mean()
+        accelerator = VibnnAccelerator(SMALL_CFG, network.posterior_parameters(), seed=0)
+        hw_acc = (accelerator.infer(x, n_samples=10).predictions == labels).mean()
+        assert float_acc > 0.9
+        assert hw_acc > float_acc - 0.06
+
+    def test_resource_report(self):
+        posterior, _ = _tiny_posterior(seed=13)
+        accelerator = VibnnAccelerator(SMALL_CFG, posterior, seed=0)
+        report = accelerator.resource_report()
+        assert report.alms > 0 and report.memory_bits > 0
+
+    def test_input_validation(self):
+        posterior, _ = _tiny_posterior(seed=12)
+        accelerator = VibnnAccelerator(SMALL_CFG, posterior, seed=0)
+        with pytest.raises(ConfigurationError):
+            accelerator.infer(np.zeros(12))  # 1-D rejected

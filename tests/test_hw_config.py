@@ -1,0 +1,80 @@
+"""Tests for repro.hw.config (eqs. 14-15 constraints)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat
+from repro.hw.config import ArchitectureConfig
+
+
+class TestConstruction:
+    def test_paper_config(self):
+        cfg = ArchitectureConfig.paper()
+        assert cfg.pe_sets == 16
+        assert cfg.pes_per_set == 8
+        assert cfg.pe_inputs == 8
+        assert cfg.bit_length == 8
+        assert cfg.total_pes == 128
+
+    def test_s_equals_n_enforced(self):
+        # eq. (14c)/(15c)
+        with pytest.raises(ConfigurationError, match="S == N"):
+            ArchitectureConfig(pe_sets=4, pes_per_set=8, pe_inputs=4)
+
+    def test_word_size_constraints(self):
+        # eq. (15b): B*N*S = 16*16*16 = 4096 > 1024.
+        with pytest.raises(ConfigurationError, match=r"15b"):
+            ArchitectureConfig(pe_sets=2, pes_per_set=16, pe_inputs=16, bit_length=16)
+
+    def test_ifmem_word_constraint(self):
+        # eq. (14b): B*N > MaxWS with a tiny MaxWS.
+        with pytest.raises(ConfigurationError, match=r"14b"):
+            ArchitectureConfig(
+                pe_sets=2, pes_per_set=8, pe_inputs=8, bit_length=8, max_word_size=32
+            )
+
+    def test_bit_length_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(bit_length=2)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(bit_length=64)
+
+    def test_grng_kind_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(grng_kind="xorshift")
+
+    def test_clock_positive(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(clock_mhz=0)
+
+
+class TestDerivedProperties:
+    def test_word_widths(self):
+        cfg = ArchitectureConfig.paper()
+        assert cfg.ifmem_word_bits == 64          # B*N
+        assert cfg.wpmem_word_bits == 512         # B*N*S
+
+    def test_weights_per_cycle(self):
+        assert ArchitectureConfig.paper().weights_per_cycle == 1024  # M*N
+
+    def test_formats(self):
+        cfg = ArchitectureConfig.paper()
+        assert isinstance(cfg.weight_format, QFormat)
+        assert cfg.weight_format.total_bits == 8
+        assert cfg.activation_format.total_bits == 8
+        assert cfg.weight_format.resolution < cfg.activation_format.resolution
+
+
+class TestWritebackFeasibility:
+    def test_paper_design_on_mnist_network(self):
+        # T=16 <= ceil(200/8)=25 for the 784-200-200-10 network.
+        cfg = ArchitectureConfig.paper()
+        assert cfg.writeback_feasible(200)
+
+    def test_infeasible_when_too_many_sets(self):
+        cfg = ArchitectureConfig(pe_sets=32, pes_per_set=8, pe_inputs=8)
+        assert not cfg.writeback_feasible(64)  # ceil(64/8)=8 < 32
+
+    def test_invalid_min_input(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig.paper().writeback_feasible(0)

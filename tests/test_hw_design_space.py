@@ -1,0 +1,60 @@
+"""Tests for the design-space explorer (§5.4 joint optimization)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.design_space import explore_design_space
+
+
+class TestExploreDesignSpace:
+    def test_returns_sorted_by_throughput(self):
+        points = explore_design_space(max_pe_sets=25)
+        assert len(points) > 0
+        speeds = [p.images_per_second for p in points]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_all_points_feasible(self):
+        for point in explore_design_space(max_pe_sets=25):
+            cfg = point.config
+            assert cfg.writeback_feasible(200)
+            assert cfg.ifmem_word_bits <= cfg.max_word_size
+            assert cfg.wpmem_word_bits <= cfg.max_word_size
+
+    def test_paper_point_is_near_optimal(self):
+        # The paper's 16x8x8 should be at or near the top for the MNIST
+        # network under the default constraints.
+        points = explore_design_space(max_pe_sets=25)
+        best = points[0].config
+        paper_like = [
+            p
+            for p in points
+            if p.config.pe_sets == 16 and p.config.pe_inputs == 8
+        ]
+        assert paper_like, "paper configuration not in feasible set"
+        assert (
+            paper_like[0].images_per_second
+            >= 0.5 * points[0].images_per_second
+        )
+        assert best.total_pes >= 64  # big arrays win on throughput
+
+    def test_device_fit_filter(self):
+        unfit_allowed = explore_design_space(max_pe_sets=25, require_device_fit=False)
+        fit_only = explore_design_space(max_pe_sets=25, require_device_fit=True)
+        assert len(unfit_allowed) >= len(fit_only)
+
+    def test_wallace_design_space_less_efficient(self):
+        rlf = explore_design_space(max_pe_sets=25, grng_kind="rlf")
+        wal = explore_design_space(max_pe_sets=25, grng_kind="bnnwallace")
+        # Best energy efficiency: RLF designs dominate (Table 5 story).
+        assert max(p.images_per_joule for p in rlf) > max(
+            p.images_per_joule for p in wal
+        )
+
+    def test_bad_layer_sizes(self):
+        with pytest.raises(ConfigurationError):
+            explore_design_space(layer_sizes=(784,))
+
+    def test_describe_format(self):
+        point = explore_design_space(max_pe_sets=25)[0]
+        text = point.describe()
+        assert "img/s" in text and "img/J" in text

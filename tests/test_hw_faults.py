@@ -1,0 +1,89 @@
+"""Tests for fault injection into the hardware GRNG models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grng.quality import stability_error
+from repro.hw.faults import (
+    FaultyBnnWallaceGrng,
+    FaultyRlfGrng,
+    StuckAtFault,
+    random_seu_faults,
+)
+
+
+class TestFaultyRlf:
+    def test_no_faults_matches_clean(self):
+        clean = FaultyRlfGrng([], lanes=16, seed=0).generate_codes(160)
+        from repro.grng.rlf import ParallelRlfGrng
+
+        reference = ParallelRlfGrng(lanes=16, seed=0).generate_codes(160)
+        assert (clean == reference).all()
+
+    def test_location_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultyRlfGrng([StuckAtFault(255, 1)], lanes=16)
+        with pytest.raises(ConfigurationError):
+            FaultyRlfGrng([StuckAtFault(0, 0.5)], lanes=16)
+
+    def test_many_stuck_ones_bias_mean_up(self):
+        faults = [StuckAtFault(location, 1) for location in range(40)]
+        samples = FaultyRlfGrng(faults, lanes=16, seed=1).generate(20_000)
+        # 40 of 255 bits pinned to 1: mean popcount rises by ~ (40 - 20)/8.
+        assert samples.mean() > 1.0
+
+    def test_quality_suite_detects_faults(self):
+        faults = [StuckAtFault(location, 1) for location in range(30)]
+        faulty = stability_error(FaultyRlfGrng(faults, lanes=16, seed=2).generate(20_000))
+        clean = stability_error(FaultyRlfGrng([], lanes=16, seed=2).generate(20_000))
+        assert faulty.mu_error > clean.mu_error + 0.5
+
+    def test_incremental_count_stays_consistent_under_faults(self):
+        # The injector fixes up the incremental counts; the codes must
+        # still equal the true popcounts.
+        faults = random_seu_faults(10, depth=255, seed=3)
+        grng = FaultyRlfGrng(faults, lanes=8, seed=3)
+        grng.generate_codes(80)
+        assert (grng._grng.counts == grng._grng.state.sum(axis=0)).all()
+
+
+class TestFaultyWallace:
+    def test_location_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultyBnnWallaceGrng([StuckAtFault(256, 0.0)], pool_size=256)
+
+    def test_large_stuck_value_inflates_variance(self):
+        faults = [StuckAtFault(0, 25.0)]
+        samples = FaultyBnnWallaceGrng(faults, units=4, pool_size=64, seed=0).generate(20_000)
+        assert samples.std() > 1.5
+
+    def test_zero_faults_match_clean(self):
+        from repro.grng.bnnwallace import BnnWallaceGrng
+
+        faulty = FaultyBnnWallaceGrng([], units=4, pool_size=64, seed=1).generate(256)
+        clean = BnnWallaceGrng(units=4, pool_size=64, seed=1).generate(256)
+        assert np.allclose(faulty, clean)
+
+
+class TestRandomSeuFaults:
+    def test_counts_and_bounds(self):
+        faults = random_seu_faults(20, depth=255, seed=0)
+        assert len(faults) == 20
+        assert all(0 <= f.location < 255 for f in faults)
+        assert all(f.value in (0.0, 1.0) for f in faults)
+
+    def test_unique_locations(self):
+        faults = random_seu_faults(50, depth=64, seed=1)
+        locations = [f.location for f in faults]
+        assert len(set(locations)) == len(locations)
+
+    def test_analog_faults(self):
+        faults = random_seu_faults(5, depth=64, seed=2, binary=False)
+        assert any(f.value not in (0.0, 1.0) for f in faults)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_seu_faults(-1, depth=10)
+        with pytest.raises(ConfigurationError):
+            random_seu_faults(1, depth=0)

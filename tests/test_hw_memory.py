@@ -1,0 +1,139 @@
+"""Tests for the on-chip memory models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    MemoryAccessError,
+    MemoryPortConflictError,
+)
+from repro.hw.memory import (
+    DoubleBufferedMemory,
+    DualPortRam,
+    Rom,
+    WeightParameterMemory,
+)
+
+
+class TestDualPortRam:
+    def test_read_write_roundtrip(self):
+        ram = DualPortRam(depth=8, width_bits=16)
+        ram.write(3, 0xBEEF)
+        ram.tick()
+        assert ram.read(3) == 0xBEEF
+
+    def test_two_accesses_per_cycle_ok(self):
+        ram = DualPortRam(depth=8, width_bits=8)
+        ram.write(0, 1)
+        ram.read(0)
+        ram.tick()
+
+    def test_third_access_conflicts(self):
+        ram = DualPortRam(depth=8, width_bits=8)
+        ram.write(0, 1)
+        ram.read(0)
+        with pytest.raises(MemoryPortConflictError):
+            ram.read(1)
+
+    def test_tick_resets_budget(self):
+        ram = DualPortRam(depth=8, width_bits=8)
+        for _ in range(10):
+            ram.read(0)
+            ram.read(1)
+            ram.tick()
+
+    def test_address_bounds(self):
+        ram = DualPortRam(depth=4, width_bits=8)
+        with pytest.raises(MemoryAccessError):
+            ram.read(4)
+        with pytest.raises(MemoryAccessError):
+            ram.write(-1, 0)
+
+    def test_value_width_checked(self):
+        ram = DualPortRam(depth=4, width_bits=8)
+        with pytest.raises(MemoryAccessError):
+            ram.write(0, 256)
+
+    def test_load_not_cycle_counted(self):
+        ram = DualPortRam(depth=4, width_bits=8)
+        ram.load(np.array([1, 2, 3, 4], dtype=object))
+        ram.read(0)
+        ram.read(1)  # still within budget: load used no ports
+        assert ram.read is not None
+
+    def test_load_too_many_words(self):
+        ram = DualPortRam(depth=2, width_bits=8)
+        with pytest.raises(MemoryAccessError):
+            ram.load(np.array([1, 2, 3], dtype=object))
+
+    def test_capacity(self):
+        assert DualPortRam(depth=255, width_bits=64).capacity_bits == 255 * 64
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            DualPortRam(depth=0, width_bits=8)
+        with pytest.raises(ConfigurationError):
+            DualPortRam(depth=8, width_bits=0)
+
+
+class TestRom:
+    def test_read(self):
+        rom = Rom([10, 20, 30])
+        assert rom.read(1) == 20
+        assert len(rom) == 3
+
+    def test_bounds(self):
+        with pytest.raises(MemoryAccessError):
+            Rom([1]).read(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rom([])
+
+
+class TestDoubleBufferedMemory:
+    def test_swap_flips_roles(self):
+        mem = DoubleBufferedMemory(depth=4, width_bits=8)
+        first_reader = mem.read_buffer
+        mem.swap()
+        assert mem.read_buffer is not first_reader
+        assert mem.write_buffer is first_reader
+
+    def test_layer_handoff_pattern(self):
+        # Write activations to the write buffer, swap, read them back —
+        # the §5.4.1 alternation.
+        mem = DoubleBufferedMemory(depth=4, width_bits=8)
+        mem.write_buffer.write(0, 42)
+        mem.tick()
+        mem.swap()
+        assert mem.read_buffer.read(0) == 42
+
+    def test_capacity_counts_both(self):
+        mem = DoubleBufferedMemory(depth=4, width_bits=8)
+        assert mem.capacity_bits == 2 * 4 * 8
+
+
+class TestWeightParameterMemory:
+    def test_distributed_reads_same_cycle(self):
+        # Every PE-set reads its own memory in one cycle — the whole point
+        # of distributing WPMems (§5.4.2).
+        wp = WeightParameterMemory(pe_sets=16, depth=4, word_bits=512)
+        for set_index in range(16):
+            wp.load_set(set_index, [set_index * 10])
+        for set_index in range(16):
+            assert wp.read_set_word(set_index, 0) == set_index * 10
+        wp.tick()
+
+    def test_set_index_bounds(self):
+        wp = WeightParameterMemory(pe_sets=2, depth=2, word_bits=8)
+        with pytest.raises(MemoryAccessError):
+            wp.read_set_word(2, 0)
+
+    def test_capacity(self):
+        wp = WeightParameterMemory(pe_sets=4, depth=8, word_bits=16)
+        assert wp.capacity_bits == 4 * 8 * 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightParameterMemory(pe_sets=0, depth=4, word_bits=8)

@@ -1,0 +1,51 @@
+"""Tests for memory word packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.packing import pack_word, unpack_word
+
+
+class TestPacking:
+    def test_roundtrip_basic(self):
+        codes = np.array([1, -2, 127, -128])
+        word = pack_word(codes, 8)
+        assert (unpack_word(word, 8, 4) == codes).all()
+
+    def test_field_layout_lsb_first(self):
+        word = pack_word(np.array([1, 2]), 8)
+        assert word == 1 | (2 << 8)
+
+    def test_negative_two_complement(self):
+        word = pack_word(np.array([-1]), 8)
+        assert word == 0xFF
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pack_word(np.array([128]), 8)
+        with pytest.raises(ConfigurationError):
+            pack_word(np.array([-129]), 8)
+
+    def test_unpack_validation(self):
+        with pytest.raises(ConfigurationError):
+            unpack_word(-1, 8, 2)
+        with pytest.raises(ConfigurationError):
+            unpack_word(0, 1, 2)
+        with pytest.raises(ConfigurationError):
+            unpack_word(0, 8, 0)
+
+    @given(
+        st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=16)
+    )
+    def test_roundtrip_property(self, values):
+        codes = np.array(values)
+        assert (unpack_word(pack_word(codes, 8), 8, len(values)) == codes).all()
+
+    @given(st.integers(min_value=2, max_value=16))
+    def test_roundtrip_any_width(self, bits):
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        codes = np.array([low, high, 0])
+        assert (unpack_word(pack_word(codes, bits), bits, 3) == codes).all()

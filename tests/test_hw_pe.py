@@ -1,0 +1,104 @@
+"""Tests for the PE / PE-set models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import QFormat, requantize
+from repro.hw.pe import PE_PIPELINE_STAGES, PeSet, ProcessingElement
+
+# Single shared format keeps the reference arithmetic simple; the
+# mixed-format path is exercised by tests/test_hw_accelerator.py.
+FMT = QFormat(integer_bits=2, frac_bits=5)
+
+
+def _acc_code(fmt: QFormat, value: float) -> int:
+    """A bias value expressed at the PE's accumulator precision."""
+    return int(round(value * (1 << (2 * fmt.frac_bits))))
+
+
+class TestProcessingElement:
+    def test_single_mac_matches_fixed_dot(self):
+        rng = np.random.default_rng(0)
+        w = FMT.quantize(rng.uniform(-1, 1, 8))
+        x = FMT.quantize(rng.uniform(-1, 1, 8))
+        pe = ProcessingElement(8, FMT)
+        pe.accumulate(w, x)
+        got = pe.finish(0, apply_relu=False)
+        wide = int(w.astype(np.int64) @ x.astype(np.int64))
+        want = int(requantize(np.array([wide]), 2 * FMT.frac_bits, FMT)[0])
+        assert got == want
+
+    def test_multi_iteration_accumulation(self):
+        # A 24-input neuron on an 8-input PE: three iterations must equal
+        # one wide dot product.
+        rng = np.random.default_rng(1)
+        w = FMT.quantize(rng.uniform(-1, 1, 24))
+        x = FMT.quantize(rng.uniform(-1, 1, 24))
+        pe = ProcessingElement(8, FMT)
+        for i in range(3):
+            pe.accumulate(w[i * 8 : (i + 1) * 8], x[i * 8 : (i + 1) * 8])
+        got = pe.finish(0, apply_relu=False)
+        wide = int(w.astype(np.int64) @ x.astype(np.int64))
+        want = int(requantize(np.array([wide]), 2 * FMT.frac_bits, FMT)[0])
+        assert got == want
+
+    def test_bias_and_relu(self):
+        pe = ProcessingElement(4, FMT)
+        pe.accumulate(FMT.quantize(np.array([-1.0, 0, 0, 0])), FMT.quantize(np.array([1.0, 0, 0, 0])))
+        # Accumulated -1.0; bias +0.5 -> -0.5 -> ReLU clamps to 0.
+        assert pe.finish(_acc_code(FMT, 0.5), apply_relu=True) == 0
+        pe.accumulate(FMT.quantize(np.array([1.0, 0, 0, 0])), FMT.quantize(np.array([1.0, 0, 0, 0])))
+        assert pe.finish(_acc_code(FMT, 0.5), apply_relu=True) == FMT.quantize(1.5)
+
+    def test_finish_resets_accumulator(self):
+        pe = ProcessingElement(2, FMT)
+        pe.accumulate(np.array([10, 0]), np.array([10, 0]))
+        pe.finish(0, apply_relu=False)
+        pe.accumulate(np.array([0, 0]), np.array([0, 0]))
+        assert pe.finish(0, apply_relu=False) == 0
+
+    def test_saturation_on_finish(self):
+        pe = ProcessingElement(2, FMT)
+        big = np.array([FMT.max_int, FMT.max_int])
+        for _ in range(10):
+            pe.accumulate(big, big)
+        assert pe.finish(0, apply_relu=False) == FMT.max_int
+
+    def test_shape_validation(self):
+        pe = ProcessingElement(4, FMT)
+        with pytest.raises(ConfigurationError):
+            pe.accumulate(np.zeros(3), np.zeros(4))
+
+    def test_mac_counter(self):
+        pe = ProcessingElement(4, FMT)
+        pe.accumulate(np.zeros(4), np.zeros(4))
+        pe.accumulate(np.zeros(4), np.zeros(4))
+        assert pe.mac_operations == 2
+
+    def test_pipeline_depth_constant(self):
+        assert PE_PIPELINE_STAGES == 3  # §5.5: multiply / accumulate / ReLU
+
+
+class TestPeSet:
+    def test_shared_features_across_pes(self):
+        rng = np.random.default_rng(2)
+        weights = FMT.quantize(rng.uniform(-1, 1, (4, 8)))
+        features = FMT.quantize(rng.uniform(-1, 1, 8))
+        pe_set = PeSet(4, 8, FMT)
+        pe_set.accumulate(weights, features)
+        out = pe_set.finish(np.zeros(4, dtype=np.int64), apply_relu=False)
+        for i in range(4):
+            pe = ProcessingElement(8, FMT)
+            pe.accumulate(weights[i], features)
+            assert out[i] == pe.finish(0, apply_relu=False)
+
+    def test_shape_validation(self):
+        pe_set = PeSet(4, 8, FMT)
+        with pytest.raises(ConfigurationError):
+            pe_set.accumulate(np.zeros((3, 8)), np.zeros(8))
+        with pytest.raises(ConfigurationError):
+            pe_set.finish(np.zeros(3), apply_relu=False)
+
+    def test_len(self):
+        assert len(PeSet(8, 8, FMT)) == 8

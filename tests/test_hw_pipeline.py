@@ -1,0 +1,69 @@
+"""Tests for the two-tier pipeline occupancy model (§5.5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.config import ArchitectureConfig
+from repro.hw.controller import schedule_network
+from repro.hw.pipeline import (
+    PIPELINE_DEPTH,
+    simulate_layer_pipeline,
+)
+
+CFG = ArchitectureConfig.paper()
+
+
+def _layer(index=0, sizes=(784, 200, 200, 10)):
+    return schedule_network(CFG, sizes).layers[index]
+
+
+class TestPipelineTiming:
+    def test_depth_matches_schedule_fill(self):
+        # The analytic schedule's fill constant is exactly the pipeline
+        # depth; the simulator must agree.
+        layer = _layer(0)
+        report = simulate_layer_pipeline(CFG, layer)
+        assert PIPELINE_DEPTH == layer.fill_cycles
+        assert report.fill_overhead_cycles == PIPELINE_DEPTH
+
+    def test_cycles_equals_ops_plus_depth(self):
+        for index in range(3):
+            layer = _layer(index)
+            report = simulate_layer_pipeline(CFG, layer)
+            assert report.cycles == layer.compute_cycles + PIPELINE_DEPTH
+
+    def test_all_operations_retire(self):
+        layer = _layer(1)
+        report = simulate_layer_pipeline(CFG, layer)
+        assert report.operations == layer.compute_cycles
+        assert report.stage_busy_cycles["pe_bias_relu"] == layer.compute_cycles
+
+    def test_occupancy_near_one_for_long_layers(self):
+        report = simulate_layer_pipeline(CFG, _layer(0))  # 196 ops
+        assert report.occupancy > 0.95
+
+    def test_occupancy_lower_for_short_layers(self):
+        long_report = simulate_layer_pipeline(CFG, _layer(0))
+        short_report = simulate_layer_pipeline(CFG, _layer(2))  # 25 ops
+        assert short_report.occupancy < long_report.occupancy
+
+
+class TestStalls:
+    def test_stalls_add_cycles(self):
+        layer = _layer(0)
+        clean = simulate_layer_pipeline(CFG, layer)
+        stalled = simulate_layer_pipeline(CFG, layer, stall_every=10)
+        assert stalled.cycles > clean.cycles
+        assert stalled.stall_cycles > 0
+        # One bubble per 10 issues: overhead ~ ops/10.
+        assert stalled.cycles == pytest.approx(
+            clean.cycles + layer.compute_cycles // 10, abs=2
+        )
+
+    def test_stall_free_default(self):
+        report = simulate_layer_pipeline(CFG, _layer(1))
+        assert report.stall_cycles == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_layer_pipeline(CFG, _layer(0), stall_every=-1)

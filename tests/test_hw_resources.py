@@ -1,0 +1,134 @@
+"""Tests for the calibrated resource/power/clock models (Tables 2, 4, 5)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.config import ArchitectureConfig
+from repro.hw.controller import schedule_network
+from repro.hw.resources import (
+    full_design_resources,
+    grng_resources,
+    grng_system_memory_bits,
+    network_parameter_bits,
+    system_clock_mhz,
+    system_power_mw,
+)
+
+
+class TestTable2Calibration:
+    """The model must reproduce Table 2 at 64 lanes."""
+
+    def test_rlf_row(self):
+        r = grng_resources("rlf", 64)
+        assert r.alms == 831
+        assert r.registers == 1780
+        assert r.memory_bits == 16_384
+        assert r.ram_blocks == 3
+        assert r.power_mw == pytest.approx(528.69, rel=0.01)
+        assert r.fmax_mhz == pytest.approx(212.95)
+
+    def test_wallace_row(self):
+        r = grng_resources("bnnwallace", 64)
+        assert r.alms == 401
+        assert r.registers == 1166
+        assert r.memory_bits == 1_048_576
+        assert r.ram_blocks == 103
+        assert r.power_mw == pytest.approx(560.25, rel=0.01)
+        assert r.fmax_mhz == pytest.approx(117.63)
+
+    def test_relative_story(self):
+        # Table 3's qualitative comparison must fall out of the numbers.
+        rlf = grng_resources("rlf", 64)
+        wal = grng_resources("bnnwallace", 64)
+        assert rlf.memory_bits < wal.memory_bits      # RLF: low memory
+        assert rlf.fmax_mhz > wal.fmax_mhz            # RLF: high frequency
+        assert wal.alms < rlf.alms                    # Wallace: low ALM
+        assert wal.registers < rlf.registers          # Wallace: low register
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grng_resources("xorshift", 64)
+        with pytest.raises(ConfigurationError):
+            grng_resources("rlf", 2)
+
+    def test_scaling_monotone(self):
+        small = grng_resources("rlf", 64)
+        large = grng_resources("rlf", 1024)
+        assert large.alms > small.alms
+        assert large.memory_bits > small.memory_bits
+
+
+class TestTable4Calibration:
+    """The model must reproduce Table 4 at the paper design point."""
+
+    def test_rlf_network(self):
+        report = full_design_resources(ArchitectureConfig.paper("rlf"))
+        assert report.alms == pytest.approx(98_006, rel=0.001)
+        assert report.registers == pytest.approx(88_720, rel=0.005)
+        assert report.memory_bits == 4_572_928
+        assert report.dsps == 342
+        assert report.fits_device()
+
+    def test_wallace_network(self):
+        report = full_design_resources(ArchitectureConfig.paper("bnnwallace"))
+        assert report.alms == pytest.approx(91_126, rel=0.001)
+        assert report.registers == pytest.approx(78_800, rel=0.005)
+        assert report.memory_bits == 4_880_128
+        assert report.dsps == 342
+        assert report.fits_device()
+
+    def test_utilization_fractions(self):
+        report = full_design_resources(ArchitectureConfig.paper("rlf"))
+        assert report.alm_utilization == pytest.approx(0.863, abs=0.01)
+        assert report.memory_utilization == pytest.approx(0.366, abs=0.01)
+        assert report.dsp_utilization == 1.0
+
+    def test_parameter_bits_formula(self):
+        # (784*200 + 200*200 + 200*10 weights + 410 biases) * 2 params * 8b.
+        bits = network_parameter_bits((784, 200, 200, 10), 8)
+        assert bits == (156_800 + 40_000 + 2_000 + 410) * 16
+
+
+class TestTable5Calibration:
+    """Throughput and energy efficiency at the paper design point."""
+
+    def test_rlf_energy_efficiency(self):
+        cfg = ArchitectureConfig.paper("rlf")
+        ips = schedule_network(cfg, (784, 200, 200, 10)).images_per_second()
+        ipj = ips / (system_power_mw(cfg) / 1e3)
+        assert ipj == pytest.approx(52_694.8, rel=0.01)
+
+    def test_wallace_energy_efficiency(self):
+        cfg = ArchitectureConfig.paper("bnnwallace")
+        ips = schedule_network(cfg, (784, 200, 200, 10)).images_per_second()
+        ipj = ips / (system_power_mw(cfg) / 1e3)
+        assert ipj == pytest.approx(37_722.1, rel=0.01)
+
+    def test_rlf_more_efficient_than_wallace(self):
+        rlf = system_power_mw(ArchitectureConfig.paper("rlf"))
+        wal = system_power_mw(ArchitectureConfig.paper("bnnwallace"))
+        assert rlf < wal
+
+    def test_system_clock_bounded_by_grng(self):
+        cfg = ArchitectureConfig.paper("rlf")
+        assert system_clock_mhz(cfg) <= 100.0
+        slow = ArchitectureConfig(
+            pe_sets=16, pes_per_set=8, pe_inputs=8, clock_mhz=50.0
+        )
+        assert system_clock_mhz(slow) == 50.0
+
+
+class TestSystemMemoryModel:
+    def test_rlf_power_of_two(self):
+        bits = grng_system_memory_bits("rlf", 1024)
+        assert bits == 262_144  # 2^18 >= 255 * 1024
+
+    def test_wallace_pool_shrink_with_many_units(self):
+        few = grng_system_memory_bits("bnnwallace", 64)      # 16 units
+        many = grng_system_memory_bits("bnnwallace", 1024)   # 256 units
+        # Per-lane memory must shrink (more sharing -> smaller pools).
+        assert many / 1024 < few / 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grng_system_memory_bits("nope", 64)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.rng.lfsr and repro.rng.taps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng.lfsr import FibonacciLfsr, ShiftHeadLfsr, lfsr_period
+from repro.rng.taps import WARD_MOLTENO_TAPS, taps_for_width
+
+
+class TestTapTable:
+    def test_known_entries(self):
+        assert taps_for_width(8) == (8, 6, 5, 4)
+        assert taps_for_width(255) == (255, 253, 252, 250)
+
+    def test_unknown_width_raises(self):
+        with pytest.raises(ConfigurationError, match="no tap entry"):
+            taps_for_width(33)
+
+    def test_all_entries_include_width(self):
+        for width, taps in WARD_MOLTENO_TAPS.items():
+            assert width in taps
+            assert all(1 <= t <= width for t in taps)
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16])
+    def test_table_entries_are_maximal_length(self, width):
+        assert lfsr_period(width) == 2**width - 1
+
+
+class TestFibonacciLfsr:
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, seed=0)
+
+    def test_rejects_oversized_seed(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, seed=256)
+
+    def test_rejects_bad_tap(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, taps=(9, 1))
+
+    def test_never_reaches_zero(self):
+        lfsr = FibonacciLfsr(8, seed=1)
+        for _ in range(300):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_step_word_packs_lsb_first(self):
+        a = FibonacciLfsr(8, seed=17)
+        b = FibonacciLfsr(8, seed=17)
+        bits = [b.step() for _ in range(8)]
+        word = a.step_word(8)
+        assert word == sum(bit << i for i, bit in enumerate(bits))
+
+    def test_output_bits_balanced_over_period(self):
+        lfsr = FibonacciLfsr(8, seed=1)
+        ones = sum(lfsr.step() for _ in range(255))
+        assert ones == 128  # maximal sequence has 2**(n-1) ones
+
+    def test_popcount_tracks_state(self):
+        lfsr = FibonacciLfsr(16, seed=0xBEEF)
+        for _ in range(50):
+            lfsr.step()
+            assert lfsr.popcount() == bin(lfsr.state).count("1")
+
+
+class TestShiftHeadLfsr:
+    def test_paper_8bit_example_is_maximal(self):
+        # Fig. 3(a): 8-bit LFSR, head register 1, taps 4, 5, 6.
+        lfsr = ShiftHeadLfsr(8, (4, 5, 6), seed=1)
+        initial = lfsr.state
+        period = 0
+        for step in range(1, 2**8 + 1):
+            lfsr.step()
+            if lfsr.state == initial:
+                period = step
+                break
+        assert period == 255
+
+    def test_rejects_tap_at_or_beyond_width(self):
+        with pytest.raises(ConfigurationError):
+            ShiftHeadLfsr(8, (8,), seed=1)
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            ShiftHeadLfsr(8, (4, 5, 6), seed=0)
+
+    def test_step_returns_head_bit(self):
+        lfsr = ShiftHeadLfsr(8, (4, 5, 6), seed=0b1010_1010)
+        head_before = lfsr.state & 1
+        assert lfsr.step() == head_before
+
+    def test_wraparound_preserves_head(self):
+        # With no taps firing (head bit 0), a step is a pure rotation.
+        lfsr = ShiftHeadLfsr(8, (4, 5, 6), seed=0b0000_0010)
+        lfsr.step()
+        assert lfsr.state == 0b0000_0001
+
+    def test_popcount_changes_by_at_most_tap_count(self):
+        lfsr = ShiftHeadLfsr(8, (4, 5, 6), seed=0b1100_0101)
+        previous = lfsr.popcount()
+        for _ in range(300):
+            lfsr.step()
+            current = lfsr.popcount()
+            assert abs(current - previous) <= 3
+            previous = current
+
+    def test_255bit_runs(self):
+        lfsr = ShiftHeadLfsr(255, (250, 252, 253), seed=(1 << 254) | 0xFFFF)
+        counts = []
+        for _ in range(100):
+            lfsr.step()
+            counts.append(lfsr.popcount())
+        assert len(set(counts)) > 1  # state actually evolves
+
+
+class TestLfsrPeriod:
+    def test_limit_respected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            lfsr_period(16, limit=10)
+
+    def test_non_maximal_taps_shorter_period(self):
+        # A single tap at the output stage makes a short cycle, not a
+        # maximal sequence.
+        assert lfsr_period(4, taps=(4,)) < 15

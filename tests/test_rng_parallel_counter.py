@@ -1,0 +1,50 @@
+"""Unit tests for repro.rng.parallel_counter."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rng.parallel_counter import ParallelCounter
+
+
+class TestCostModel:
+    def test_paper_127_input_pc(self):
+        # §4.1.1: "a 127-input PC requires 120 full adders".
+        assert ParallelCounter(127).full_adders == 120
+
+    def test_output_bits(self):
+        assert ParallelCounter(127).output_bits == 7
+        assert ParallelCounter(255).output_bits == 8
+        assert ParallelCounter(7).output_bits == 3
+
+    def test_rlf_tap_counter_is_tiny(self):
+        # The RLF only counts its 7 buffered bits.
+        assert ParallelCounter(7).full_adders == 4
+        assert ParallelCounter(7).full_adders < ParallelCounter(255).full_adders / 10
+
+    def test_tree_depth_grows_logarithmically(self):
+        assert ParallelCounter(255).tree_depth == 8
+        assert ParallelCounter(8).tree_depth == 3
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            ParallelCounter(0)
+
+
+class TestFunctionalCount:
+    def test_counts(self):
+        assert ParallelCounter(7).count([1, 0, 1, 1, 0, 0, 1]) == 4
+
+    def test_wrong_width(self):
+        with pytest.raises(ConfigurationError):
+            ParallelCounter(4).count([1, 0, 1])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelCounter(3).count([0, 2, 1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64))
+    def test_matches_sum(self, bits):
+        assert ParallelCounter(len(bits)).count(bits) == sum(bits)

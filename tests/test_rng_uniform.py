@@ -1,0 +1,38 @@
+"""Unit tests for repro.rng.uniform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng.uniform import LfsrUniformSource
+
+
+class TestLfsrUniformSource:
+    def test_range(self):
+        src = LfsrUniformSource(lfsr_width=16, word_bits=8, seed=1)
+        samples = src.generate(500)
+        assert (samples >= 0).all() and (samples < 1).all()
+
+    def test_resolution_grid(self):
+        src = LfsrUniformSource(lfsr_width=16, word_bits=4, seed=1)
+        samples = src.generate(100)
+        assert np.allclose(samples * 16, np.round(samples * 16))
+
+    def test_deterministic(self):
+        a = LfsrUniformSource(seed=7).generate(50)
+        b = LfsrUniformSource(seed=7).generate(50)
+        assert (a == b).all()
+
+    def test_roughly_uniform_mean(self):
+        samples = LfsrUniformSource(lfsr_width=32, word_bits=16, seed=3).generate(4000)
+        assert abs(samples.mean() - 0.5) < 0.02
+
+    def test_rejects_bad_word_bits(self):
+        with pytest.raises(ConfigurationError):
+            LfsrUniformSource(word_bits=0)
+        with pytest.raises(ConfigurationError):
+            LfsrUniformSource(word_bits=54)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LfsrUniformSource().generate(-1)
