@@ -1,0 +1,239 @@
+"""Benchmark: streaming/batched sampling backend vs. the seed loop paths.
+
+Two sections:
+
+1. **GRNG samples/sec** — per generator, the pre-block-API call pattern
+   (one ``step()`` per hardware cycle for the cycle-accurate generators,
+   small per-pass ``generate`` calls for the software ones) against the
+   block path (:meth:`~repro.grng.base.Grng.generate_block` /
+   :class:`~repro.grng.stream.GrngStream`).
+2. **MC-predictions/sec on the digits workload** — the seed inference
+   path (``MonteCarloPredictor(batched=False)`` fed by per-cycle
+   generation, exactly the seed's semantics) against the batched path
+   (all epsilons drawn as one block, all forward passes stacked along a
+   leading sample axis).
+
+The headline number is the digits-workload MC-inference speedup with the
+paper's BNNWallace generator supplying the epsilons — the configuration
+the paper's throughput story is about.  The acceptance target for the
+batched backend is >= 5x over the seed loop path.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batched_inference.py [--quick]
+
+``--quick`` shrinks the workloads for CI smoke runs (seconds, not
+minutes); the speedups it reports are noisier but the structure is
+identical.  Exit code is non-zero if the headline speedup misses the 5x
+target (ignored in --quick mode, which exists to catch crashes, not
+regressions in absolute throughput).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.inference import MonteCarloPredictor
+from repro.datasets import load_digits_split
+from repro.grng import BnnWallaceGrng, GrngStream, NumpyGrng, ParallelRlfGrng
+from repro.grng.base import Grng
+
+
+class StepLoopGrng(Grng):
+    """The seed's per-cycle generation path, for old-vs-new comparisons.
+
+    Before the block API, ``generate`` on the cycle-accurate generators
+    assembled its output from one ``step()`` call per hardware cycle; the
+    vectorised block paths replaced that loop.  This adapter reproduces
+    the old call pattern on top of the unchanged ``step()`` kernel so the
+    benchmark can measure what the seed code actually did.
+    """
+
+    def __init__(self, source) -> None:
+        self.source = source
+
+    def generate(self, count: int) -> np.ndarray:
+        count = self._check_count(count)
+        if count == 0:
+            return np.empty(0)
+        chunks = []
+        have = 0
+        while have < count:
+            chunk = np.asarray(self.source.step(), dtype=np.float64)
+            if hasattr(self.source, "width"):  # RLF emits integer codes
+                from repro.grng.rlf import standardize_codes
+
+                chunk = standardize_codes(chunk, self.source.width)
+            chunks.append(chunk)
+            have += chunk.size
+        return np.concatenate(chunks)[:count]
+
+
+def _rate(fn, min_seconds: float) -> float:
+    """Calls/sec of ``fn`` over at least ``min_seconds`` of wall clock."""
+    fn()  # warm-up
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return calls / elapsed
+
+
+def bench_grng_throughput(quick: bool) -> None:
+    block = 20_000 if quick else 200_000
+    seconds = 0.2 if quick else 1.0
+    print(f"== GRNG throughput (block of {block:,} samples)")
+    print(f"{'generator':<22}{'seed path':>14}{'block path':>14}{'speedup':>9}")
+    rows = [
+        (
+            "bnnwallace",
+            lambda: StepLoopGrng(BnnWallaceGrng(units=8, pool_size=256, seed=0)),
+            lambda: BnnWallaceGrng(units=8, pool_size=256, seed=0),
+        ),
+        (
+            "rlf (64 lanes)",
+            lambda: StepLoopGrng(ParallelRlfGrng(lanes=64, seed=0)),
+            lambda: ParallelRlfGrng(lanes=64, seed=0),
+        ),
+        (
+            "numpy (256/call)",
+            lambda: _Chunked(NumpyGrng(0), 256),
+            lambda: NumpyGrng(0),
+        ),
+    ]
+    for name, make_old, make_new in rows:
+        old_gen, new_gen = make_old(), make_new()
+        old = _rate(lambda: old_gen.generate(block), seconds) * block
+        new = _rate(lambda: new_gen.generate_block((block,)), seconds) * block
+        print(f"{name:<22}{old:>12,.0f}/s{new:>12,.0f}/s{new / old:>8.1f}x")
+    print()
+
+
+class _Chunked(Grng):
+    """Serve a block as many small ``generate`` calls (old call pattern)."""
+
+    def __init__(self, source: Grng, chunk: int) -> None:
+        self.source = source
+        self.chunk = chunk
+
+    def generate(self, count: int) -> np.ndarray:
+        count = self._check_count(count)
+        parts = [
+            self.source.generate(min(self.chunk, count - done))
+            for done in range(0, count, self.chunk)
+        ]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+
+def bench_mc_inference(quick: bool) -> float:
+    """Digits-workload MC inference; returns the headline speedup."""
+    n_test = 100 if quick else 400
+    n_samples = 10 if quick else 30
+    seconds = 0.3 if quick else 2.0
+    _, _, x_test, _ = load_digits_split(
+        n_train=10, n_test=n_test, seed=0
+    )
+    network = BayesianNetwork((784, 100, 10), seed=0)
+    print(
+        f"== MC inference, digits workload "
+        f"({n_test} images, 784-100-10, N={n_samples})"
+    )
+    print(f"{'configuration':<34}{'pred/s':>10}{'eps-sam/s':>14}")
+
+    eps = network.weight_count() * n_samples
+
+    def measure(label: str, predictor: MonteCarloPredictor) -> float:
+        rate = _rate(lambda: predictor.predict_proba(x_test), seconds)
+        print(f"{label:<34}{rate:>10.2f}{rate * eps:>12,.0f}/s")
+        return rate
+
+    results: dict[str, float] = {}
+    configs = [
+        (
+            "bnnwallace seed loop path",
+            lambda: MonteCarloPredictor(
+                network,
+                grng=StepLoopGrng(BnnWallaceGrng(units=8, pool_size=256, seed=0)),
+                n_samples=n_samples,
+                batched=False,
+            ),
+        ),
+        (
+            "bnnwallace batched block path",
+            lambda: MonteCarloPredictor(
+                network,
+                grng=GrngStream(BnnWallaceGrng(units=8, pool_size=256, seed=0)),
+                n_samples=n_samples,
+                batched=True,
+            ),
+        ),
+        (
+            "rlf seed loop path",
+            lambda: MonteCarloPredictor(
+                network,
+                grng=StepLoopGrng(ParallelRlfGrng(lanes=64, seed=0)),
+                n_samples=n_samples,
+                batched=False,
+            ),
+        ),
+        (
+            "rlf batched block path",
+            lambda: MonteCarloPredictor(
+                network,
+                grng=GrngStream(ParallelRlfGrng(lanes=64, seed=0)),
+                n_samples=n_samples,
+                batched=True,
+            ),
+        ),
+        (
+            "numpy loop path",
+            lambda: MonteCarloPredictor(
+                network, grng=NumpyGrng(0), n_samples=n_samples, batched=False
+            ),
+        ),
+        (
+            "numpy batched block path",
+            lambda: MonteCarloPredictor(
+                network, grng=NumpyGrng(0), n_samples=n_samples, batched=True
+            ),
+        ),
+    ]
+    for label, make in configs:
+        results[label] = measure(label, make())
+
+    headline = results["bnnwallace batched block path"] / results[
+        "bnnwallace seed loop path"
+    ]
+    rlf_speedup = results["rlf batched block path"] / results["rlf seed loop path"]
+    numpy_speedup = results["numpy batched block path"] / results["numpy loop path"]
+    print()
+    print(f"bnnwallace MC-inference speedup (headline): {headline:.1f}x  (target >= 5x)")
+    print(f"rlf MC-inference speedup:                   {rlf_speedup:.1f}x")
+    print(f"numpy same-generator loop-vs-batched:       {numpy_speedup:.2f}x")
+    return headline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny workloads, no speedup enforcement",
+    )
+    args = parser.parse_args(argv)
+    bench_grng_throughput(args.quick)
+    headline = bench_mc_inference(args.quick)
+    if not args.quick and headline < 5.0:
+        print(f"FAIL: headline speedup {headline:.1f}x below the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Subpackages
 ``repro.datasets``    synthetic digit / tabular datasets (S14)
 ``repro.hw``          accelerator simulator + resource models (S15-S21)
 ``repro.experiments`` one module per paper table/figure (S22)
+
+See ``README.md`` for the quickstart and ``docs/ARCHITECTURE.md`` /
+``docs/GRNG.md`` for the system data flow, the block-sampling seam, and
+per-generator algorithm notes with measured quality.
 """
 
 __version__ = "1.0.0"

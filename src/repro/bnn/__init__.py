@@ -8,7 +8,10 @@ Pure-NumPy implementations of everything the paper's software side needs:
   the paper's ref. [9]): Gaussian variational posteriors ``N(mu, sigma^2)``
   with ``sigma = softplus(rho)``, trained by reparameterised ELBO descent;
 * :mod:`~repro.bnn.inference` — Monte-Carlo ensemble prediction (eq. 6)
-  with a pluggable GRNG as the epsilon source;
+  with a pluggable GRNG as the epsilon source; the default batched path
+  draws all epsilons as one block and stacks every MC pass along a
+  leading sample axis, with the per-sample loop kept as the bit-for-bit
+  reference;
 * :mod:`~repro.bnn.quantized` — the fixed-point inference path that models
   what the FPGA computes (Tables 6-7's "VIBNN (Hardware)" rows, Fig. 18).
 """
@@ -17,7 +20,13 @@ from repro.bnn.activations import relu, relu_grad, sigmoid, softmax, softplus
 from repro.bnn.bayesian import BayesianDenseLayer, BayesianNetwork
 from repro.bnn.conv_network import BayesianConvNetwork
 from repro.bnn.convolution import BayesianConv2dLayer, MaxPool2dLayer
-from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.inference import (
+    MonteCarloPredictor,
+    draw_layer_epsilons,
+    split_epsilon_block,
+    stacked_epsilons,
+    stacked_forward,
+)
 from repro.bnn.regression import BayesianRegressor
 from repro.bnn.serialization import export_memory_image, load_posterior, save_posterior
 from repro.bnn.losses import cross_entropy_loss
@@ -44,6 +53,10 @@ __all__ = [
     "load_posterior",
     "save_posterior",
     "MonteCarloPredictor",
+    "draw_layer_epsilons",
+    "split_epsilon_block",
+    "stacked_epsilons",
+    "stacked_forward",
     "cross_entropy_loss",
     "accuracy",
     "negative_log_likelihood",

@@ -6,6 +6,24 @@ each using freshly sampled weights (eqs. 3-6).  The epsilon stream may come
 from any :class:`~repro.grng.base.Grng` — this is exactly the seam where
 the paper's hardware GRNGs plug into the inference datapath, and it lets
 the experiments measure end-task accuracy as a function of GRNG quality.
+
+Two execution paths share that seam:
+
+* **Batched** (default, :meth:`MonteCarloPredictor.predict_proba`): all
+  ``n_samples`` epsilon vectors are drawn as one block via
+  :meth:`~repro.grng.base.Grng.generate_block` and all forward passes run
+  as one stacked tensor computation with a leading sample axis — the
+  software analogue of the paper's "keep the PE array busy" throughput
+  story.
+* **Reference loop** (:meth:`MonteCarloPredictor.predict_proba_loop`): one
+  forward pass per Monte-Carlo sample, kept as the semantic reference; the
+  equivalence tests assert the batched path matches it bit for bit.
+
+The two paths consume the epsilon stream in the same order (sample-major,
+then layer, weights before biases), so wrapping a generator in
+:class:`~repro.grng.stream.GrngStream` makes them bit-for-bit identical
+for *any* generator; for call-pattern-invariant generators (NumPy, CLT,
+CDF inversion, ...) they agree even unwrapped.
 """
 
 from __future__ import annotations
@@ -19,6 +37,110 @@ from repro.grng.base import Grng
 from repro.utils.validation import check_positive
 
 
+def split_epsilon_block(layers, block: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Slice a ``(n_samples, eps_per_pass)`` block into per-layer stacks.
+
+    Returns one ``(eps_w, eps_b)`` pair per layer with shapes
+    ``(n_samples, in, out)`` and ``(n_samples, out)``, consuming the block
+    columns in forward-pass order (layer by layer, weights before biases)
+    — the same order the reference loop consumes a flat epsilon stream.
+    """
+    n_samples = block.shape[0]
+    needed = sum(layer.mu_weights.size + layer.mu_bias.size for layer in layers)
+    if block.shape[1] != needed:
+        raise ConfigurationError(
+            f"epsilon block has {block.shape[1]} columns, layers need {needed}"
+        )
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    cursor = 0
+    for layer in layers:
+        w_count = layer.mu_weights.size
+        b_count = layer.mu_bias.size
+        eps_w = block[:, cursor : cursor + w_count].reshape(
+            (n_samples,) + layer.mu_weights.shape
+        )
+        cursor += w_count
+        eps_b = block[:, cursor : cursor + b_count].reshape(
+            (n_samples,) + layer.mu_bias.shape
+        )
+        cursor += b_count
+        out.append((eps_w, eps_b))
+    return out
+
+
+def draw_layer_epsilons(layers, n_samples: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Draw stacked epsilons from each layer's internal NumPy stream.
+
+    Per layer the draw order is weights-then-bias per sample — exactly the
+    order ``layer.forward(sample=True)`` consumes its ``_eps_rng`` across
+    ``n_samples`` sequential passes, so the stacked draw leaves every
+    layer's stream in the same state as the reference loop and yields the
+    same epsilons bit for bit.
+    """
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for layer in layers:
+        eps_w = np.empty((n_samples,) + layer.mu_weights.shape)
+        eps_b = np.empty((n_samples,) + layer.mu_bias.shape)
+        for index in range(n_samples):
+            eps_w[index] = layer._eps_rng.standard_normal(layer.mu_weights.shape)
+            eps_b[index] = layer._eps_rng.standard_normal(layer.mu_bias.shape)
+        out.append((eps_w, eps_b))
+    return out
+
+
+def stacked_epsilons(layers, n_samples: int, grng: Grng | None) -> list[tuple[np.ndarray, np.ndarray]]:
+    """All ``n_samples`` passes' epsilons for ``layers``, drawn as one block.
+
+    ``grng is None`` draws from each layer's internal NumPy stream
+    (:func:`draw_layer_epsilons`); otherwise one
+    ``(n_samples, eps_per_pass)`` block is drawn through the
+    :meth:`~repro.grng.base.Grng.generate_block` seam and split layer by
+    layer (:func:`split_epsilon_block`).  This is the single place that
+    encodes the epsilon-ordering contract shared by the classifier and
+    regression batched paths.
+    """
+    if grng is None:
+        return draw_layer_epsilons(layers, n_samples)
+    eps_per_pass = sum(layer.weight_count() for layer in layers)
+    block = grng.generate_block((n_samples, eps_per_pass))
+    return split_epsilon_block(layers, block)
+
+
+def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
+    """Run all Monte-Carlo forward passes as one stacked tensor computation.
+
+    ``x`` has shape ``(batch, in)``; ``epsilons`` is the per-layer list
+    from :func:`split_epsilon_block` / :func:`draw_layer_epsilons`.  The
+    sampled weights ``w = mu + sigma * eps`` form an ``(S, in, out)``
+    stack and the hidden state an ``(S, batch, features)`` stack; matmul
+    broadcasting runs one GEMM per sample slice — the identical FLOPs of
+    the reference loop without the Python round trips.  Returns logits of
+    shape ``(S, batch, out)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    in_features = layers[0].mu_weights.shape[0]
+    if x.ndim != 2 or x.shape[1] != in_features:
+        raise ConfigurationError(
+            f"expected input shape (batch, {in_features}), got {x.shape}"
+        )
+    hidden: np.ndarray | None = None  # None means "x shared across samples"
+    last = len(layers) - 1
+    for index, layer in enumerate(layers):
+        eps_w, eps_b = epsilons[index]
+        weights = layer.mu_weights + layer.sigma_weights() * eps_w
+        bias = layer.mu_bias + layer.sigma_bias() * eps_b
+        n_samples = weights.shape[0]
+        pre = np.empty((n_samples, x.shape[0], weights.shape[2]))
+        # One 2-D GEMM per sample slice: bit-identical to the reference
+        # loop's per-pass matmuls (a stacked 3-D matmul may tile/thread
+        # differently) and it keeps the BLAS threading of the 2-D path.
+        for sample in range(n_samples):
+            source = x if hidden is None else hidden[sample]
+            pre[sample] = source @ weights[sample] + bias[sample]
+        hidden = relu(pre) if index < last else pre
+    return hidden
+
+
 class MonteCarloPredictor:
     """MC-averaged prediction for a trained Bayesian network.
 
@@ -30,34 +152,72 @@ class MonteCarloPredictor:
         Optional epsilon source; ``None`` uses each layer's internal
         (NumPy) stream.  Hardware generators
         (:class:`~repro.grng.rlf.ParallelRlfGrng`,
-        :class:`~repro.grng.bnnwallace.BnnWallaceGrng`) slot in here.
+        :class:`~repro.grng.bnnwallace.BnnWallaceGrng`) slot in here,
+        optionally behind a :class:`~repro.grng.stream.GrngStream`.
     n_samples:
         Monte-Carlo sample count ``N`` of eq. (6).
+    batched:
+        Default execution path: ``True`` runs all samples as one stacked
+        tensor computation; ``False`` uses the reference per-sample loop.
+        The stacked path materialises ``(n_samples, batch, features)``
+        transients — roughly ``n_samples`` times the loop path's working
+        set — and its win comes from drawing epsilons as one GRNG block,
+        so with ``grng=None`` (per-layer NumPy draws) it is memory for no
+        speedup; pass ``batched=False`` for very large batches on
+        memory-constrained hosts.
     """
 
-    def __init__(self, network: BayesianNetwork, grng: Grng | None = None, n_samples: int = 10) -> None:
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        grng: Grng | None = None,
+        n_samples: int = 10,
+        *,
+        batched: bool = True,
+    ) -> None:
         check_positive("n_samples", n_samples)
         self.network = network
         self.grng = grng
         self.n_samples = n_samples
+        self.batched = batched
         #: Gaussian numbers consumed per forward pass — the workload the
         #: paper's GRNG throughput requirement comes from.
         self.eps_per_pass = network.weight_count()
 
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def _stacked_epsilons(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """All ``n_samples`` passes' epsilons, drawn as one block."""
+        return stacked_epsilons(self.network.layers, self.n_samples, self.grng)
+
+    def predict_proba_batched(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (6) with every MC pass stacked along a leading sample axis."""
+        x = np.asarray(x, dtype=np.float64)
+        logits = stacked_forward(self.network.layers, x, self._stacked_epsilons())
+        probs = softmax(logits)
+        # Sum along the sample axis slice by slice: bit-identical to the
+        # reference loop's sequential accumulation.
+        total = np.zeros(probs.shape[1:])
+        for index in range(probs.shape[0]):
+            total += probs[index]
+        return total / self.n_samples
+
+    # ------------------------------------------------------------------
+    # Reference loop (kept for equivalence tests and as documentation of
+    # the eq. 6 semantics, one forward pass per Monte-Carlo sample)
+    # ------------------------------------------------------------------
     def _layer_epsilons(self) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Draw one forward pass worth of epsilons from the plugged GRNG."""
+        """Draw one forward pass worth of epsilons from the plugged GRNG.
+
+        Delegates the slicing to :func:`split_epsilon_block` (a one-row
+        block) so a single function owns the epsilon-ordering contract.
+        """
         stream = self.grng.generate(self.eps_per_pass)
-        out: list[tuple[np.ndarray, np.ndarray]] = []
-        cursor = 0
-        for layer in self.network.layers:
-            w_count = layer.mu_weights.size
-            b_count = layer.mu_bias.size
-            eps_w = stream[cursor : cursor + w_count].reshape(layer.mu_weights.shape)
-            cursor += w_count
-            eps_b = stream[cursor : cursor + b_count]
-            cursor += b_count
-            out.append((eps_w, eps_b))
-        return out
+        return [
+            (eps_w[0], eps_b[0])
+            for eps_w, eps_b in split_epsilon_block(self.network.layers, stream[None, :])
+        ]
 
     def _forward_once(self, x: np.ndarray) -> np.ndarray:
         if self.grng is None:
@@ -73,13 +233,20 @@ class MonteCarloPredictor:
                 return pre
         raise ConfigurationError("network has no layers")  # pragma: no cover
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Eq. (6): MC-averaged class probabilities."""
+    def predict_proba_loop(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (6) as a per-sample loop — the reference implementation."""
         x = np.asarray(x, dtype=np.float64)
         total = np.zeros((x.shape[0], self.network.layer_sizes[-1]))
         for _ in range(self.n_samples):
             total += softmax(self._forward_once(x))
         return total / self.n_samples
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (6): MC-averaged class probabilities (default path)."""
+        if self.batched:
+            return self.predict_proba_batched(x)
+        return self.predict_proba_loop(x)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """MC-averaged hard predictions."""

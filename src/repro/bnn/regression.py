@@ -130,12 +130,42 @@ class BayesianRegressor:
             history.append(epoch_nll / batches)
         return history
 
-    def predict(self, x: np.ndarray, n_samples: int = 50) -> tuple[np.ndarray, np.ndarray]:
+    def predict(
+        self,
+        x: np.ndarray,
+        n_samples: int = 50,
+        *,
+        grng=None,
+        batched: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Predictive mean and total standard deviation (eq. 6 analogue).
 
         The returned std combines the epistemic spread of the MC forward
-        passes with the aleatoric ``noise_sigma``.
+        passes with the aleatoric ``noise_sigma``.  By default all
+        ``n_samples`` passes run as one stacked tensor computation with
+        epsilons drawn as a single block (optionally from ``grng`` through
+        the :meth:`~repro.grng.base.Grng.generate_block` seam);
+        :meth:`predict_loop` is the per-sample reference the batched path
+        is tested against bit for bit.
         """
+        check_positive("n_samples", n_samples)
+        if not batched:
+            if grng is not None:
+                raise ConfigurationError("the loop reference has no grng seam")
+            return self.predict_loop(x, n_samples)
+        from repro.bnn.inference import stacked_epsilons, stacked_forward
+
+        x = np.asarray(x, dtype=np.float64)
+        draws = stacked_forward(self.layers, x, stacked_epsilons(self.layers, n_samples, grng))
+        mean = draws.mean(axis=0)
+        epistemic_var = draws.var(axis=0)
+        std = np.sqrt(epistemic_var + self.noise_sigma**2)
+        return mean, std
+
+    def predict_loop(
+        self, x: np.ndarray, n_samples: int = 50
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Reference implementation: one forward pass per MC sample."""
         check_positive("n_samples", n_samples)
         x = np.asarray(x, dtype=np.float64)
         draws = np.stack([self.forward(x, sample=True) for _ in range(n_samples)])

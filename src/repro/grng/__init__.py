@@ -17,7 +17,12 @@ baseline they are compared against:
   (:mod:`~repro.grng.clt`), rejection (:mod:`~repro.grng.ziggurat`), and
   recursion (Wallace), plus Box–Muller (:mod:`~repro.grng.box_muller`);
 * :mod:`~repro.grng.quality` — stability error, Wald–Wolfowitz runs test,
-  KS / chi-square tests, autocorrelation (Table 1 and Fig. 15 metrics).
+  KS / chi-square tests, autocorrelation (Table 1 and Fig. 15 metrics);
+* :mod:`~repro.grng.stream` — the block-sampling seam:
+  :class:`~repro.grng.stream.GrngStream` (buffered streaming front-end)
+  and :class:`~repro.grng.stream.BlockGrng` (block-native base class),
+  feeding the batched Monte-Carlo predictor and the accelerator's weight
+  generator from one large-block draw path.
 """
 
 from repro.grng.base import Grng, NumpyGrng
@@ -28,12 +33,15 @@ from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.factory import available_grngs, make_grng
 from repro.grng.lut_icdf import LutIcdfGrng
 from repro.grng.rlf import ParallelRlfGrng, RlfGrng, RlfLogic
+from repro.grng.stream import BlockGrng, GrngStream
 from repro.grng.wallace import SoftwareWallaceGrng, hadamard_transform
 from repro.grng.ziggurat import ZigguratGrng
 
 __all__ = [
     "Grng",
     "NumpyGrng",
+    "BlockGrng",
+    "GrngStream",
     "BoxMullerGrng",
     "CdfInversionGrng",
     "BinomialLfsrGrng",

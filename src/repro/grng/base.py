@@ -5,6 +5,26 @@ Every generator produces *standardized* samples (target ``N(0, 1)``) from
 their native integer codes via :meth:`Grng.generate_codes` so the
 fixed-point weight updater (:mod:`repro.hw.weight_generator`) can consume
 them without a float round trip.
+
+Block API
+---------
+:meth:`Grng.generate_block` and :meth:`Grng.fill` form the *block-sampling
+seam*: consumers that need many samples (the batched Monte-Carlo predictor,
+the accelerator's weight generator, the throughput benches) request one
+large block instead of issuing many small :meth:`Grng.generate` calls.
+The base-class defaults reduce blocks to a single bulk ``generate`` call,
+so every generator supports the seam; generators with a vectorised native
+path (:class:`~repro.grng.rlf.ParallelRlfGrng`,
+:class:`~repro.grng.bnnwallace.BnnWallaceGrng`) override the bulk path
+itself, and :class:`~repro.grng.stream.GrngStream` adds buffering on top.
+
+Count contract
+--------------
+``count`` must be a non-negative integer everywhere.  ``count == 0`` is
+valid and uniformly returns an empty array (shape ``(0,)`` for flat
+requests) — it never raises and never trips a downstream reshape.
+Negative or non-integral counts raise
+:class:`~repro.errors.ConfigurationError`.
 """
 
 from __future__ import annotations
@@ -14,6 +34,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.utils.validation import check_count
 
 
 class Grng(ABC):
@@ -21,7 +42,10 @@ class Grng(ABC):
 
     @abstractmethod
     def generate(self, count: int) -> np.ndarray:
-        """Return ``count`` samples targeting the standard normal."""
+        """Return ``count`` samples targeting the standard normal.
+
+        ``count == 0`` returns an empty ``(0,)`` array.
+        """
 
     def generate_codes(self, count: int) -> np.ndarray:
         """Native integer codes, for generators with a hardware datapath.
@@ -33,10 +57,81 @@ class Grng(ABC):
             f"{type(self).__name__} has no integer code datapath"
         )
 
+    # ------------------------------------------------------------------
+    # Block-sampling seam
+    # ------------------------------------------------------------------
+    def generate_block(self, shape: "int | tuple[int, ...]") -> np.ndarray:
+        """Return a block of samples with the given ``shape``.
+
+        The block is a single contiguous slice of the generator's output
+        stream in C order: ``generate_block((m, n))`` on a fresh generator
+        equals ``generate(m * n).reshape(m, n)`` on an identically seeded
+        one.  A zero-sized shape returns an empty array of that shape.
+        """
+        shape = self._check_shape(shape)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self.generate(count).reshape(shape)
+
+    def fill(self, out: np.ndarray) -> None:
+        """Fill ``out`` in place with the next ``out.size`` samples.
+
+        The values written are the same contiguous stream slice that
+        :meth:`generate_block` with ``out.shape`` would return.  Accepts
+        non-contiguous views; a zero-sized array is a no-op.  ``out``
+        must be an ndarray — writing into a converted copy of a list
+        would silently drop the samples.
+        """
+        out = self._check_out(out)
+        if out.size == 0:
+            return
+        out[...] = self.generate(out.size).reshape(out.shape)
+
+    # ------------------------------------------------------------------
     @staticmethod
-    def _check_count(count: int) -> None:
-        if count < 0:
-            raise ConfigurationError(f"sample count must be >= 0, got {count}")
+    def _check_out(out: np.ndarray) -> np.ndarray:
+        """Require a writable floating-point ndarray target for in-place fills."""
+        if not isinstance(out, np.ndarray):
+            raise ConfigurationError(
+                f"fill target must be an ndarray, got {type(out).__name__}"
+            )
+        if not np.issubdtype(out.dtype, np.floating):
+            raise ConfigurationError(
+                f"fill target must have a floating dtype, got {out.dtype}"
+            )
+        if not out.flags.writeable:
+            raise ConfigurationError("fill target must be writable")
+        return out
+
+    @staticmethod
+    def _check_count(count: int) -> int:
+        """Validate the uniform count contract; return a plain ``int``."""
+        return check_count("sample count", count)
+
+    @staticmethod
+    def _check_shape(shape: "int | tuple[int, ...]") -> tuple[int, ...]:
+        """Normalise a block shape: ints promote to 1-tuples, dims >= 0."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        elif isinstance(shape, (str, bytes)):
+            raise ConfigurationError(
+                f"block shape must be an int or tuple of ints, got {shape!r}"
+            )
+        try:
+            dims = tuple(shape)
+        except TypeError:
+            raise ConfigurationError(
+                f"block shape must be an int or tuple of ints, got {shape!r}"
+            ) from None
+        for dim in dims:
+            if isinstance(dim, bool) or not isinstance(dim, (int, np.integer)):
+                raise ConfigurationError(
+                    f"block shape dimensions must be integers, got {shape!r}"
+                )
+            if dim < 0:
+                raise ConfigurationError(
+                    f"block shape dimensions must be >= 0, got {shape}"
+                )
+        return tuple(int(dim) for dim in dims)
 
 
 class NumpyGrng(Grng):
@@ -51,5 +146,5 @@ class NumpyGrng(Grng):
         self._rng = np.random.default_rng(seed)
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         return self._rng.standard_normal(count)

@@ -100,16 +100,50 @@ class BnnWallaceGrng(Grng):
         self._phase = (self._phase + 1) % self.pool_size
         return generated.reshape(-1)
 
+    def _batch_cycles(self, k: int) -> np.ndarray:
+        """Run ``k`` cycles whose slot windows don't wrap; return the rows.
+
+        Within the window the four read slots advance by 5 every cycle
+        (address counter +4, phase +1), so cycle ``j``'s reads sit strictly
+        ahead of every earlier cycle's writes: all ``k`` reads can be
+        gathered from the pre-window pools, eq. (13) applied to the whole
+        ``(k, units, 4)`` block, and the shifted write-backs scattered in
+        one assignment — bit-exact with ``k`` sequential :meth:`step` calls.
+        """
+        base = (self._addr + self._phase) % self.pool_size
+        slots = base + 5 * np.arange(k)[:, None] + np.arange(4)[None, :]
+        quads = self.pools[:, slots].transpose(1, 0, 2)  # (k, units, 4)
+        generated = hadamard_transform(quads)
+        shifted = np.roll(generated.reshape(k, -1), 1, axis=1)
+        self.pools[:, slots] = shifted.reshape(k, self.units, 4).transpose(1, 0, 2)
+        self._addr += 4 * k
+        if self._addr >= self.pool_size:
+            self._addr = 0
+        self._phase = (self._phase + k) % self.pool_size
+        return generated.reshape(k, -1)
+
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        """Windowed block path, bit-exact with the per-cycle :meth:`step` loop."""
+        count = self._check_count(count)
         if count == 0:
             return np.empty(0)
         per_cycle = self.units * 4
         cycles = -(-count // per_cycle)
-        out = np.empty(cycles * per_cycle)
-        for i in range(cycles):
-            out[i * per_cycle : (i + 1) * per_cycle] = self.step()
-        return out[:count]
+        rows: list[np.ndarray] = []
+        done = 0
+        while done < cycles:
+            base = (self._addr + self._phase) % self.pool_size
+            k_addr = (self.pool_size - self._addr) // 4
+            k_base = (self.pool_size - 4 - base) // 5 + 1
+            k = min(cycles - done, k_addr, k_base)
+            if k < 1:
+                # Slot window wraps around the pool edge: single-cycle path.
+                rows.append(self.step()[None, :])
+                done += 1
+                continue
+            rows.append(self._batch_cycles(k))
+            done += k
+        return np.concatenate(rows).reshape(-1)[:count]
 
 
 class WallaceNssGrng(Grng):
@@ -141,7 +175,7 @@ class WallaceNssGrng(Grng):
         return generated
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         if count == 0:
             return np.empty(0)
         cycles = -(-count // 4)

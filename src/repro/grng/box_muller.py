@@ -14,15 +14,29 @@ from repro.utils.seeding import spawn_generator
 
 
 class BoxMullerGrng(Grng):
-    """Basic (trigonometric) Box–Muller transform over a uniform source."""
+    """Basic (trigonometric) Box–Muller transform over a uniform source.
+
+    The transform produces samples in pairs; an odd request banks the
+    leftover sample and serves it first on the next call, so the block
+    path wastes nothing regardless of the request pattern.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self._rng = spawn_generator(seed, "box-muller")
         self._spare: float | None = None
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
-        pairs = (count + 1) // 2
+        count = self._check_count(count)
+        out = np.empty(count)
+        start = 0
+        if count > 0 and self._spare is not None:
+            out[0] = self._spare
+            self._spare = None
+            start = 1
+        need = count - start
+        if need <= 0:
+            return out
+        pairs = (need + 1) // 2
         u1 = self._rng.random(pairs)
         u2 = self._rng.random(pairs)
         # Guard u1 == 0: log(0) is -inf; the uniform source is half-open on
@@ -33,4 +47,7 @@ class BoxMullerGrng(Grng):
         samples = np.empty(pairs * 2)
         samples[0::2] = radius * np.cos(angle)
         samples[1::2] = radius * np.sin(angle)
-        return samples[:count]
+        out[start:] = samples[:need]
+        if pairs * 2 > need:
+            self._spare = float(samples[need])
+        return out

@@ -22,7 +22,7 @@ class CdfInversionGrng(Grng):
         self._rng = spawn_generator(seed, "cdf-inversion")
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         uniforms = self._rng.random(count)
         # Keep strictly inside (0, 1): ndtri(0) is -inf.
         tiny = np.finfo(np.float64).tiny

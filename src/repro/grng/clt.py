@@ -60,7 +60,7 @@ class BinomialLfsrGrng(Grng):
         self.parallel_counter = ParallelCounter(width)
 
     def generate_codes(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         out = np.empty(count, dtype=np.int64)
         for i in range(count):
             for _ in range(self._steps):
@@ -86,6 +86,6 @@ class CentralLimitGrng(Grng):
         self._rng = spawn_generator(seed, "central-limit")
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         total = self._rng.random((count, self.terms)).sum(axis=1)
         return (total - self.terms / 2.0) / math.sqrt(self.terms / 12.0)

@@ -62,7 +62,7 @@ class LutIcdfGrng(Grng):
         return 2 + ParallelCounter(self.segments).output_bits
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         uniforms = self._rng.random(count)
         # Fold onto (0, 0.5]; the table value is ICDF(folded) <= 0, and the
         # upper half mirrors by symmetry: ICDF(u) = -ICDF(1 - u).

@@ -297,7 +297,7 @@ class RlfGrng(Grng):
         return self._logic
 
     def generate_codes(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         step = self._logic.step if self._double_step else self._logic.single_step
         return np.fromiter((step() for _ in range(count)), dtype=np.int64, count=count)
 
@@ -350,25 +350,43 @@ class ParallelRlfGrng(Grng):
         self.head = 0
         self.counts = state.sum(axis=0).astype(np.int64)  # Initialization ROM
         self.cycle = 0
+        # Gathered form of the cycle's XOR schedule: the written tap
+        # positions never coincide with the head positions that source the
+        # XORs, so one cycle's sequential op list collapses to a single
+        # gather/XOR/scatter — distinct written taps, each XORed with the
+        # parity of its head sources.  This is the vectorised cycle kernel
+        # used by both :meth:`step` and the block path.
+        ops = self._double_ops if double_step else tuple((t, 0) for t in self.inject_taps)
+        head_count = 2 if double_step else 1
+        taps = sorted({tap for tap, _ in ops})
+        parity = np.zeros((len(taps), head_count), dtype=np.uint8)
+        for tap, head_offset in ops:
+            parity[taps.index(tap), head_offset] ^= 1
+        self._cycle_taps = np.array(taps, dtype=np.int64)
+        self._cycle_parity = parity
+        self._head_offsets = np.arange(head_count, dtype=np.int64)
+        self._head_stride = 2 if double_step else 1
 
     # ------------------------------------------------------------------
-    def _apply(self, tap_offset: int, head_offset: int) -> None:
-        pos = (self.head + tap_offset) % self.width
-        src = (self.head + head_offset) % self.width
-        before = self.state[pos].astype(np.int64)
-        self.state[pos] ^= self.state[src]
-        self.counts += self.state[pos].astype(np.int64) - before
+    def _advance(self) -> None:
+        """One cycle's state update (gathered XOR kernel); no output."""
+        pos = (self.head + self._cycle_taps) % self.width
+        heads = self.state[(self.head + self._head_offsets) % self.width]
+        # XOR each written tap with the parity-selected head bits.
+        xor_vec = self._cycle_parity[:, 0, None] * heads[0]
+        for h in range(1, heads.shape[0]):
+            xor_vec = xor_vec ^ (self._cycle_parity[:, h, None] * heads[h])
+        rows = self.state[pos]
+        updated = rows ^ xor_vec
+        self.state[pos] = updated
+        self.counts += updated.sum(axis=0, dtype=np.int64) - rows.sum(
+            axis=0, dtype=np.int64
+        )
+        self.head = (self.head + self._head_stride) % self.width
 
     def step(self) -> np.ndarray:
         """Advance one cycle; return the per-lane codes after multiplexing."""
-        if self._double_step:
-            for tap_offset, head_offset in self._double_ops:
-                self._apply(tap_offset, head_offset)
-            self.head = (self.head + 2) % self.width
-        else:
-            for tap in self.inject_taps:
-                self._apply(tap, 0)
-            self.head = (self.head + 1) % self.width
+        self._advance()
         codes = self.counts.copy()
         if self._multiplex:
             rotation = self.cycle % 4
@@ -378,14 +396,29 @@ class ParallelRlfGrng(Grng):
         return codes
 
     def generate_codes(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        """Block path: run the cycles, then multiplex all rows at once.
+
+        Bit-exact with repeated :meth:`step` calls; the per-cycle output
+        copy and the rotating 4-way multiplexers are hoisted out of the
+        cycle loop and applied to the whole ``(cycles, lanes)`` block.
+        """
+        count = self._check_count(count)
         if count == 0:
             return np.empty(0, dtype=np.int64)
         cycles = -(-count // self.lanes)
-        out = np.empty(cycles * self.lanes, dtype=np.int64)
+        raw = np.empty((cycles, self.lanes), dtype=np.int64)
         for i in range(cycles):
-            out[i * self.lanes : (i + 1) * self.lanes] = self.step()
-        return out[:count]
+            self._advance()
+            raw[i] = self.counts
+        if self._multiplex:
+            rotations = (self.cycle + np.arange(cycles)) % 4
+            grouped = raw.reshape(cycles, -1, 4)
+            for rotation in range(1, 4):
+                rows = rotations == rotation
+                if rows.any():
+                    grouped[rows] = np.roll(grouped[rows], rotation, axis=2)
+        self.cycle += cycles
+        return raw.reshape(-1)[:count]
 
     def generate(self, count: int) -> np.ndarray:
         return standardize_codes(self.generate_codes(count), self.width)

@@ -117,7 +117,7 @@ class SoftwareWallaceGrng(Grng):
             self._one_pass()
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        count = self._check_count(count)
         chunks: list[np.ndarray] = []
         remaining = count
         while remaining > 0:

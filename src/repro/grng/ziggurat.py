@@ -86,40 +86,69 @@ class ZigguratGrng(Grng):
         self.fast_path_hits = 0
         self.total_draws = 0
 
-    def _tail_sample(self, r: float) -> float:
-        # Marsaglia's tail algorithm for |x| > r.
-        while True:
-            u1 = self._rng.random()
-            u2 = self._rng.random()
-            u1 = max(u1, np.finfo(np.float64).tiny)
-            u2 = max(u2, np.finfo(np.float64).tiny)
-            x = -math.log(u1) / r
-            y = -math.log(u2)
-            if 2.0 * y > x * x:
-                return r + x
-
-    def _one(self) -> float:
-        x_tab, y_tab = self._x, self._y
-        r = x_tab[0]
-        while True:
-            self.total_draws += 1
-            layer = int(self._rng.integers(0, self.layers))
-            u = 2.0 * self._rng.random() - 1.0
-            candidate = u * x_tab[layer]
-            if abs(candidate) < x_tab[layer + 1]:
-                self.fast_path_hits += 1
-                return candidate
-            if layer == 0:
-                tail = self._tail_sample(r)
-                return tail if u > 0 else -tail
-            # Wedge: layer i spans heights [f(x_i), f(x_{i+1})); the topmost
-            # layer is capped by the mode value f(0) = 1.
-            y_low = y_tab[layer]
-            y_high = y_tab[layer + 1] if layer + 1 < self.layers else 1.0
-            y = y_low + (y_high - y_low) * self._rng.random()
-            if y < math.exp(-0.5 * candidate * candidate):
-                return candidate
+    def _tail_block(self, r: float, size: int) -> np.ndarray:
+        # Marsaglia's tail algorithm for |x| > r, vectorised with rejection.
+        out = np.empty(size)
+        todo = np.arange(size)
+        tiny = np.finfo(np.float64).tiny
+        while todo.size:
+            u1 = np.clip(self._rng.random(todo.size), tiny, None)
+            u2 = np.clip(self._rng.random(todo.size), tiny, None)
+            x = -np.log(u1) / r
+            y = -np.log(u2)
+            accepted = 2.0 * y > x * x
+            out[todo[accepted]] = r + x[accepted]
+            todo = todo[~accepted]
+        return out
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
-        return np.fromiter((self._one() for _ in range(count)), dtype=np.float64, count=count)
+        """Vectorised block path: whole-array fast path, batched fallbacks.
+
+        Each round draws a candidate per still-pending sample; the
+        rectangle fast path accepts the vast majority in one vectorised
+        compare, tail samples (layer 0) resolve in a batched rejection
+        loop, and wedge rejections carry over to the next round — the same
+        per-candidate logic as the classic scalar ziggurat, applied to
+        whole arrays.
+        """
+        count = self._check_count(count)
+        out = np.empty(count)
+        if count == 0:
+            return out
+        x_tab, y_tab = self._x, self._y
+        r = x_tab[0]
+        pending = np.arange(count)
+        while pending.size:
+            size = pending.size
+            self.total_draws += size
+            layer = self._rng.integers(0, self.layers, size=size)
+            u = 2.0 * self._rng.random(size) - 1.0
+            candidate = u * x_tab[layer]
+            fast = np.abs(candidate) < x_tab[layer + 1]
+            self.fast_path_hits += int(fast.sum())
+            out[pending[fast]] = candidate[fast]
+            slow = ~fast
+            tail = slow & (layer == 0)
+            if tail.any():
+                tails = self._tail_block(r, int(tail.sum()))
+                out[pending[tail]] = np.where(u[tail] > 0.0, tails, -tails)
+            wedge = slow & (layer != 0)
+            if wedge.any():
+                wedge_layer = layer[wedge]
+                wedge_candidate = candidate[wedge]
+                # Wedge: layer i spans heights [f(x_i), f(x_{i+1})); the
+                # topmost layer is capped by the mode value f(0) = 1.
+                y_low = y_tab[wedge_layer]
+                y_high = np.where(
+                    wedge_layer + 1 < self.layers,
+                    y_tab[np.minimum(wedge_layer + 1, self.layers - 1)],
+                    1.0,
+                )
+                y = y_low + (y_high - y_low) * self._rng.random(wedge_layer.size)
+                accepted = y < np.exp(-0.5 * wedge_candidate * wedge_candidate)
+                indices = pending[wedge]
+                out[indices[accepted]] = wedge_candidate[accepted]
+                pending = indices[~accepted]
+            else:
+                pending = pending[:0]
+        return out

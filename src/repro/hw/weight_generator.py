@@ -27,6 +27,7 @@ from repro.bnn.quantized import (
 from repro.errors import ConfigurationError
 from repro.fixedpoint import QFormat, requantize, saturate
 from repro.grng.base import Grng
+from repro.utils.validation import check_count
 
 #: Pipeline registers between GRNG -> updater and updater -> PE (§5.5).
 WEIGHT_GENERATOR_PIPELINE_STAGES = 2
@@ -68,15 +69,37 @@ class WeightGenerator:
         ``mu_codes`` and ``sigma_codes`` may have any (matching) shape; one
         epsilon is drawn per element.
         """
+        return self.sample_block(mu_codes, sigma_codes, 1)[0]
+
+    def sample_block(
+        self, mu_codes: np.ndarray, sigma_codes: np.ndarray, n_samples: int
+    ) -> np.ndarray:
+        """Weight codes for ``n_samples`` Monte-Carlo passes in one draw.
+
+        This is the block-sampling seam of the cycle model: the epsilons
+        for all passes are drawn as one ``n_samples * size`` block from
+        the GRNG (the software form of the generator streaming
+        ``M * N`` fresh samples per cycle into the PE array), then the
+        eq. (2) updater applies to the whole stack at once.  Returns shape
+        ``(n_samples,) + mu_codes.shape`` with pass ``i`` consuming the
+        ``i``-th contiguous slice of the drawn block.  (Wrap the GRNG in a
+        :class:`~repro.grng.stream.GrngStream` when the block must equal
+        ``n_samples`` sequential :meth:`sample` calls bit for bit — raw
+        generators that round requests up to whole cycles split streams
+        differently.)
+        """
+        n_samples = check_count("n_samples", n_samples)
+        if n_samples < 1:
+            raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
         mu_codes = np.asarray(mu_codes, dtype=np.int64)
         sigma_codes = np.asarray(sigma_codes, dtype=np.int64)
         if mu_codes.shape != sigma_codes.shape:
             raise ConfigurationError(
                 f"mu/sigma shape mismatch: {mu_codes.shape} vs {sigma_codes.shape}"
             )
-        eps, eps_frac = self._epsilons(mu_codes.size)
-        self.samples_generated += mu_codes.size
-        eps = eps.reshape(mu_codes.shape)
+        eps, eps_frac = self._epsilons(n_samples * mu_codes.size)
+        self.samples_generated += n_samples * mu_codes.size
+        eps = eps.reshape((n_samples,) + mu_codes.shape)
         product = sigma_codes * eps.astype(np.int64)
         delta = requantize(product, self.weight_fmt.frac_bits + eps_frac, self.weight_fmt)
         return saturate(mu_codes + delta, self.weight_fmt)

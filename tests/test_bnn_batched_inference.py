@@ -1,0 +1,187 @@
+"""Batched-vs-loop equivalence tests for the Monte-Carlo inference stack.
+
+The batched path must be a pure reformulation: under a fixed seed it has
+to reproduce the reference per-sample loop bit for bit — same epsilons,
+same matmuls, same accumulation — for the internal per-layer streams, for
+a plugged software GRNG, and (behind a :class:`~repro.grng.stream.GrngStream`)
+for every registered generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.inference import (
+    MonteCarloPredictor,
+    split_epsilon_block,
+    stacked_forward,
+)
+from repro.bnn.regression import BayesianRegressor
+from repro.errors import ConfigurationError
+from repro.grng import BnnWallaceGrng, GrngStream, NumpyGrng
+from repro.grng.factory import available_grngs, make_grng
+from repro.hw.weight_generator import WeightGenerator
+
+
+def _net(seed=3):
+    return BayesianNetwork((6, 9, 4), seed=seed, initial_sigma=0.05)
+
+
+X = np.random.default_rng(0).random((23, 6))
+
+
+class TestBatchedEquivalence:
+    def test_internal_streams_bit_for_bit(self):
+        batched = MonteCarloPredictor(_net(), grng=None, n_samples=13)
+        loop = MonteCarloPredictor(_net(), grng=None, n_samples=13)
+        assert np.array_equal(
+            batched.predict_proba_batched(X), loop.predict_proba_loop(X)
+        )
+
+    def test_numpy_grng_bit_for_bit(self):
+        batched = MonteCarloPredictor(_net(), grng=NumpyGrng(7), n_samples=13)
+        loop = MonteCarloPredictor(_net(), grng=NumpyGrng(7), n_samples=13)
+        assert np.array_equal(
+            batched.predict_proba_batched(X), loop.predict_proba_loop(X)
+        )
+
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_every_generator_bit_for_bit_behind_stream(self, name):
+        # GrngStream makes the epsilon stream call-pattern invariant, so
+        # loop and batched consume identical values for ANY generator.
+        batched = MonteCarloPredictor(
+            _net(), grng=GrngStream(make_grng(name, 5), block_size=4096), n_samples=9
+        )
+        loop = MonteCarloPredictor(
+            _net(), grng=GrngStream(make_grng(name, 5), block_size=4096), n_samples=9
+        )
+        assert np.array_equal(
+            batched.predict_proba_batched(X), loop.predict_proba_loop(X)
+        )
+
+    def test_default_path_is_batched(self):
+        predictor = MonteCarloPredictor(_net(), grng=NumpyGrng(1), n_samples=5)
+        reference = MonteCarloPredictor(_net(), grng=NumpyGrng(1), n_samples=5)
+        assert np.array_equal(
+            predictor.predict_proba(X), reference.predict_proba_batched(X)
+        )
+
+    def test_batched_false_selects_loop(self):
+        predictor = MonteCarloPredictor(
+            _net(), grng=NumpyGrng(1), n_samples=5, batched=False
+        )
+        reference = MonteCarloPredictor(_net(), grng=NumpyGrng(1), n_samples=5)
+        assert np.array_equal(
+            predictor.predict_proba(X), reference.predict_proba_loop(X)
+        )
+
+    def test_predict_and_entropy_ride_the_batched_path(self):
+        predictor = MonteCarloPredictor(_net(), grng=NumpyGrng(2), n_samples=8)
+        probs = predictor.predict_proba(X)
+        assert predictor.predict(X).shape == (X.shape[0],)
+        entropy = MonteCarloPredictor(
+            _net(), grng=NumpyGrng(2), n_samples=8
+        ).predictive_entropy(X)
+        expected = -(probs * np.log(np.clip(probs, 1e-300, None))).sum(axis=1)
+        assert np.array_equal(entropy, expected)
+
+    def test_probabilities_normalised(self):
+        probs = MonteCarloPredictor(_net(), grng=NumpyGrng(3), n_samples=6).predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_batched_path_validates_input_shape(self):
+        # The batched default must reject malformed input like the loop
+        # path does, not broadcast it into silently wrong probabilities.
+        predictor = MonteCarloPredictor(_net(), n_samples=2)
+        with pytest.raises(ConfigurationError, match="expected input shape"):
+            predictor.predict_proba(np.zeros(X.shape[1]))  # 1-D input
+        with pytest.raises(ConfigurationError, match="expected input shape"):
+            predictor.predict_proba(np.zeros((3, X.shape[1] + 1)))
+
+
+class TestEpsilonBlockHelpers:
+    def test_split_epsilon_block_shapes(self):
+        net = _net()
+        block = np.arange(3 * net.weight_count(), dtype=np.float64).reshape(3, -1)
+        parts = split_epsilon_block(net.layers, block)
+        assert len(parts) == len(net.layers)
+        for layer, (eps_w, eps_b) in zip(net.layers, parts):
+            assert eps_w.shape == (3,) + layer.mu_weights.shape
+            assert eps_b.shape == (3,) + layer.mu_bias.shape
+
+    def test_split_epsilon_block_rejects_wrong_width(self):
+        net = _net()
+        with pytest.raises(ConfigurationError):
+            split_epsilon_block(net.layers, np.zeros((3, net.weight_count() + 1)))
+        with pytest.raises(ConfigurationError):
+            split_epsilon_block(net.layers, np.zeros((3, net.weight_count() - 1)))
+
+    def test_stacked_forward_zero_eps_matches_mean_forward(self):
+        net = _net()
+        eps = [
+            (np.zeros((2,) + l.mu_weights.shape), np.zeros((2,) + l.mu_bias.shape))
+            for l in net.layers
+        ]
+        stacked = stacked_forward(net.layers, X, eps)
+        mean_logits = net.forward(X, sample=False)
+        assert np.allclose(stacked[0], mean_logits)
+        assert np.allclose(stacked[1], mean_logits)
+
+
+class TestRegressorBatched:
+    def test_batched_matches_loop_bit_for_bit(self):
+        x = np.random.default_rng(1).random((17, 2))
+        mean_a, std_a = BayesianRegressor((2, 8, 1), seed=4).predict(x, n_samples=21)
+        mean_b, std_b = BayesianRegressor((2, 8, 1), seed=4).predict_loop(
+            x, n_samples=21
+        )
+        assert np.array_equal(mean_a, mean_b)
+        assert np.array_equal(std_a, std_b)
+
+    def test_grng_seam(self):
+        x = np.random.default_rng(2).random((9, 2))
+        mean, std = BayesianRegressor((2, 8, 1), seed=4).predict(
+            x, n_samples=5, grng=GrngStream(BnnWallaceGrng(seed=2))
+        )
+        assert mean.shape == (9, 1) and std.shape == (9, 1)
+        assert (std >= 0.1 - 1e-12).all()  # noise floor = noise_sigma
+
+    def test_loop_path_rejects_grng(self):
+        with pytest.raises(ConfigurationError):
+            BayesianRegressor((2, 4, 1)).predict(
+                np.zeros((2, 2)), n_samples=2, grng=NumpyGrng(0), batched=False
+            )
+
+
+class TestWeightGeneratorBlock:
+    def test_first_row_matches_single_sample(self):
+        # With a streamed source the block consumes the same stream slices
+        # as sequential sample() calls, so row 0 must agree exactly.
+        mu = np.arange(-10, 10, dtype=np.int64)
+        sigma = np.full(20, 12, dtype=np.int64)
+        block_gen = WeightGenerator(
+            GrngStream(BnnWallaceGrng(seed=6), block_size=64), bit_length=8
+        )
+        single_gen = WeightGenerator(
+            GrngStream(BnnWallaceGrng(seed=6), block_size=64), bit_length=8
+        )
+        block = block_gen.sample_block(mu, sigma, 3)
+        assert block.shape == (3, 20)
+        assert np.array_equal(block[0], single_gen.sample(mu, sigma))
+
+    def test_sequential_samples_match_block_rows(self):
+        mu = np.zeros(16, dtype=np.int64)
+        sigma = np.full(16, 20, dtype=np.int64)
+        block_gen = WeightGenerator(GrngStream(NumpyGrng(8)), bit_length=8)
+        seq_gen = WeightGenerator(GrngStream(NumpyGrng(8)), bit_length=8)
+        block = block_gen.sample_block(mu, sigma, 4)
+        rows = np.stack([seq_gen.sample(mu, sigma) for _ in range(4)])
+        assert np.array_equal(block, rows)
+
+    def test_counter_and_validation(self):
+        gen = WeightGenerator(NumpyGrng(0), bit_length=8)
+        gen.sample_block(np.zeros((3, 2), dtype=np.int64), np.zeros((3, 2), dtype=np.int64), 5)
+        assert gen.samples_generated == 30
+        with pytest.raises(ConfigurationError):
+            gen.sample_block(np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.int64), 0)

@@ -1,0 +1,178 @@
+"""Tests for the block-sampling seam: base block API, BlockGrng, GrngStream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grng import BlockGrng, GrngStream, NumpyGrng, ParallelRlfGrng
+from repro.grng.factory import available_grngs, make_grng
+
+
+class TestBlockContract:
+    """generate_block/fill/count contract for every registered generator."""
+
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_generate_block_is_reshaped_stream(self, name):
+        # The block is one contiguous slice of the output stream: a fresh
+        # identically seeded generator's flat generate() must agree.  For
+        # generators with a native vectorised block path (rlf, bnnwallace)
+        # this pins the vectorised path to the sequential one.
+        block = make_grng(name, seed=11).generate_block((6, 35))
+        flat = make_grng(name, seed=11).generate(6 * 35)
+        assert block.shape == (6, 35)
+        assert np.array_equal(block, flat.reshape(6, 35))
+
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_fill_matches_generate_block(self, name):
+        out = np.empty((3, 17))
+        make_grng(name, seed=7).fill(out)
+        expected = make_grng(name, seed=7).generate_block((3, 17))
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_zero_count_returns_empty(self, name):
+        grng = make_grng(name, seed=0)
+        assert grng.generate(0).shape == (0,)
+        assert grng.generate_block((0, 5)).shape == (0, 5)
+        grng.fill(np.empty(0))  # no-op, must not raise
+
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_negative_and_non_integer_counts_rejected(self, name):
+        grng = make_grng(name, seed=0)
+        with pytest.raises(ConfigurationError):
+            grng.generate(-1)
+        with pytest.raises(ConfigurationError):
+            grng.generate(2.5)
+
+    def test_zero_count_then_stream_continues(self):
+        # A zero request must not disturb generator state.
+        a = NumpyGrng(3)
+        a.generate(0)
+        b = NumpyGrng(3)
+        assert np.array_equal(a.generate(10), b.generate(10))
+
+    def test_int_shape_promotes(self):
+        assert NumpyGrng(0).generate_block(12).shape == (12,)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NumpyGrng(0).generate_block((3, -1))
+
+    def test_fill_non_contiguous(self):
+        out = np.empty((4, 10))[:, ::2]  # non-contiguous view
+        NumpyGrng(5).fill(out)
+        expected = NumpyGrng(5).generate(out.size).reshape(out.shape)
+        assert np.array_equal(out, expected)
+
+    def test_fill_rejects_non_float_dtype(self):
+        # An integer target would silently truncate every sample to
+        # {-1, 0, 1} while consuming generator state.
+        with pytest.raises(ConfigurationError, match="floating"):
+            NumpyGrng(0).fill(np.empty(8, dtype=np.int64))
+        with pytest.raises(ConfigurationError, match="floating"):
+            GrngStream(NumpyGrng(0)).fill(np.empty(8, dtype=np.int64))
+
+    def test_fill_rejects_readonly_target(self):
+        out = np.empty(8)
+        out.flags.writeable = False
+        with pytest.raises(ConfigurationError, match="writable"):
+            NumpyGrng(0).fill(out)
+
+    def test_string_shape_rejected(self):
+        # "12" must not be iterated into shape (1, 2).
+        with pytest.raises(ConfigurationError, match="block shape"):
+            NumpyGrng(0).generate_block("12")
+
+    def test_non_integer_shape_dims_rejected(self):
+        with pytest.raises(ConfigurationError, match="integers"):
+            NumpyGrng(0).generate_block((3, 2.5))
+        with pytest.raises(ConfigurationError, match="integers"):
+            NumpyGrng(0).generate_block(("3", "4"))
+
+    def test_fill_rejects_non_ndarray(self):
+        # Writing into a converted copy of a list would silently drop the
+        # samples while consuming generator state.
+        with pytest.raises(ConfigurationError, match="ndarray"):
+            NumpyGrng(0).fill([0.0] * 8)
+        with pytest.raises(ConfigurationError, match="ndarray"):
+            GrngStream(NumpyGrng(0)).fill([0.0] * 8)
+
+
+class _FillOnly(BlockGrng):
+    """Minimal block-native generator for the BlockGrng contract test."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def fill(self, out):
+        out[...] = self._rng.standard_normal(out.size).reshape(out.shape)
+
+
+class TestBlockGrng:
+    def test_generate_derives_from_fill(self):
+        assert np.array_equal(
+            _FillOnly(2).generate(40),
+            np.random.default_rng(2).standard_normal(40),
+        )
+
+    def test_generate_block_derives_from_fill(self):
+        block = _FillOnly(4).generate_block((5, 8))
+        assert block.shape == (5, 8)
+        assert np.array_equal(
+            block, np.random.default_rng(4).standard_normal(40).reshape(5, 8)
+        )
+
+
+class TestGrngStream:
+    def test_call_pattern_invariance(self):
+        # The defining property: output depends only on seed + block_size,
+        # never on how requests are chopped.
+        for name in ("bnnwallace", "box-muller", "wallace-256", "numpy"):
+            chopped = GrngStream(make_grng(name, seed=9), block_size=512)
+            whole = GrngStream(make_grng(name, seed=9), block_size=512)
+            parts = [chopped.generate(n) for n in (7, 500, 1, 0, 892, 100)]
+            assert np.array_equal(np.concatenate(parts), whole.generate(1500))
+
+    def test_stream_equals_source_blocks(self):
+        stream = GrngStream(NumpyGrng(1), block_size=128)
+        source = NumpyGrng(1)
+        assert np.array_equal(stream.generate(300), source.generate(384)[:300])
+
+    def test_generate_codes_buffered(self):
+        stream = GrngStream(ParallelRlfGrng(lanes=8, seed=2), block_size=64)
+        source = ParallelRlfGrng(lanes=8, seed=2)
+        got = np.concatenate([stream.generate_codes(n) for n in (5, 60, 63)])
+        assert np.array_equal(got, source.generate_codes(128))
+
+    def test_float_and_code_buffers_independent(self):
+        stream = GrngStream(ParallelRlfGrng(lanes=8, seed=3), block_size=32)
+        floats = stream.generate(10)
+        codes = stream.generate_codes(10)
+        assert floats.dtype == np.float64 and codes.dtype == np.int64
+        assert stream.refills == 2
+
+    def test_refills_amortised(self):
+        stream = GrngStream(NumpyGrng(0), block_size=1000)
+        for _ in range(100):
+            stream.generate(10)
+        assert stream.refills == 1
+        assert stream.buffered == 0
+
+    def test_codes_unavailable_when_source_has_none(self):
+        stream = GrngStream(NumpyGrng(0))
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            stream.generate_codes(4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GrngStream(NumpyGrng(0), block_size=0)
+        with pytest.raises(ConfigurationError):
+            GrngStream("not a grng")
+        with pytest.raises(ConfigurationError, match="refusing to stack"):
+            GrngStream(GrngStream(NumpyGrng(0)))
+
+    def test_factory_stream_block(self):
+        stream = make_grng("bnnwallace", seed=1, stream_block=256)
+        assert isinstance(stream, GrngStream)
+        assert stream.block_size == 256
+        assert stream.generate(10).shape == (10,)
