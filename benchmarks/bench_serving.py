@@ -1,0 +1,199 @@
+"""Benchmark: micro-batched serving vs. per-request BNN inference.
+
+The serving subsystem's claim is that coalescing concurrent single-image
+requests into one ``predict_proba_batched`` call recovers the batch
+efficiency the engine was built for: the dominant cost of a prediction —
+drawing ``n_samples * eps_per_pass`` Gaussian epsilons — is paid once per
+*batch* instead of once per *request*, and the forward passes become
+64-row GEMMs instead of 1-row ones.
+
+Sections:
+
+1. **Throughput (closed loop)** — requests/sec of (a) direct per-request
+   inference (one predictor call per image, the no-serving baseline),
+   (b) the service with ``max_batch=1`` (queue overhead, no coalescing),
+   (c) the micro-batched service at ``max_batch=64`` in synchronous mode,
+   and (d) the same with a 2-thread worker pool.  The headline is
+   (c) / (a) — acceptance target **>= 5x** on the digits workload with the
+   paper's BNNWallace generator.
+2. **Latency under open-loop load** — Poisson arrivals against the worker
+   pool at a fraction of measured capacity; reports p50/p95/p99.
+3. **Equivalence gate** — served results must be **bit-for-bit identical**
+   to a direct ``predict_proba_batched`` call with the same seed and batch
+   composition (always enforced, even with ``--quick``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+
+``--quick`` shrinks the workload for CI smoke runs and skips the absolute
+5x gate (CI machines are noisy); the equivalence gate always applies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.inference import MonteCarloPredictor
+from repro.datasets import load_digits_split
+from repro.grng import GrngStream, make_grng
+from repro.serving import (
+    BnnService,
+    ServiceConfig,
+    run_closed_loop,
+    run_open_loop,
+    worker_stream_seed,
+)
+
+GRNG = "bnnwallace"
+SEED = 0
+MODEL = "digits"
+
+
+def make_service(network: BayesianNetwork, n_samples: int, **config) -> BnnService:
+    """Service over ``network`` with caching off (measure compute, not hits)."""
+    service = BnnService(config=ServiceConfig(cache_capacity=0, **config))
+    service.register_network(MODEL, network, n_samples=n_samples, grng=GRNG, seed=SEED)
+    return service
+
+
+def bench_per_request(
+    network: BayesianNetwork, images: np.ndarray, n_samples: int, min_seconds: float
+) -> float:
+    """Requests/sec of direct one-image-per-call inference (the baseline)."""
+    predictor = MonteCarloPredictor(
+        network,
+        grng=GrngStream(make_grng(GRNG, seed=SEED)),
+        n_samples=n_samples,
+        batched=True,
+    )
+    predictor.predict_proba(images[:1])  # warm-up
+    served = 0
+    start = time.perf_counter()
+    while True:
+        predictor.predict_proba(images[served % images.shape[0]][None, :])
+        served += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return served / elapsed
+
+
+def bench_throughput(
+    network: BayesianNetwork, images: np.ndarray, n_samples: int, quick: bool
+) -> tuple[float, float]:
+    """Returns ``(headline speedup, micro-batched capacity in req/s)``."""
+    total = 192 if quick else 1024
+    per_request_seconds = 0.5 if quick else 2.0
+    print(
+        f"== Throughput, digits workload ({images.shape[0]} distinct images, "
+        f"784-100-10, N={n_samples}, grng={GRNG})"
+    )
+    print(f"{'configuration':<38}{'req/s':>12}{'mean batch':>12}")
+
+    baseline = bench_per_request(network, images, n_samples, per_request_seconds)
+    print(f"{'direct per-request inference':<38}{baseline:>12,.1f}{1.0:>12.1f}")
+
+    rows: dict[str, float] = {}
+    configs = [
+        ("service max_batch=1 (no coalescing)", dict(workers=0, max_batch=1), max(total // 8, 32)),
+        ("service micro-batched (max_batch=64)", dict(workers=0, max_batch=64), total),
+        ("service micro-batched, 2 workers", dict(workers=2, max_batch=64, max_wait_ms=1.0), total),
+    ]
+    for label, config, requests in configs:
+        with make_service(network, n_samples, **config) as service:
+            stats = run_closed_loop(service, MODEL, images, total_requests=requests)
+            mean_batch = service.metrics.mean_batch_size()
+        rows[label] = stats.throughput_rps
+        print(f"{label:<38}{stats.throughput_rps:>12,.1f}{mean_batch:>12.1f}")
+
+    headline = rows["service micro-batched (max_batch=64)"] / baseline
+    threaded = rows["service micro-batched, 2 workers"] / baseline
+    overhead = rows["service max_batch=1 (no coalescing)"] / baseline
+    print()
+    print(f"micro-batched vs per-request (headline): {headline:.1f}x  (target >= 5x)")
+    print(f"micro-batched 2 workers vs per-request:  {threaded:.1f}x")
+    print(f"service overhead at batch 1:             {overhead:.2f}x of direct")
+    print()
+    return headline, rows["service micro-batched, 2 workers"]
+
+
+def bench_open_loop_latency(
+    network: BayesianNetwork,
+    images: np.ndarray,
+    n_samples: int,
+    capacity_rps: float,
+    quick: bool,
+) -> None:
+    duration = 1.0 if quick else 3.0
+    print(f"== Open-loop latency (Poisson arrivals, 2 workers, {duration:g}s per point)")
+    print(f"{'offered load':<24}{'p50':>10}{'p95':>10}{'p99':>10}{'drops':>8}")
+    for fraction in (0.25, 0.6):
+        rate = max(capacity_rps * fraction, 1.0)
+        with make_service(
+            network, n_samples, workers=2, max_batch=64, max_wait_ms=2.0
+        ) as service:
+            stats = run_open_loop(
+                service, MODEL, images, rate_rps=rate, duration_s=duration, seed=SEED
+            )
+        latency = stats.latency_percentiles()
+        label = f"{rate:,.0f} req/s ({fraction:.0%} cap)"
+        print(
+            f"{label:<24}"
+            f"{latency['p50'] * 1e3:>8.2f}ms{latency['p95'] * 1e3:>8.2f}ms"
+            f"{latency['p99'] * 1e3:>8.2f}ms{stats.dropped:>8}"
+        )
+    print()
+
+
+def check_equivalence(network: BayesianNetwork, images: np.ndarray, n_samples: int) -> bool:
+    """Served output must equal direct ``predict_proba_batched`` bit for bit."""
+    batch = images[:64]
+    with make_service(network, n_samples, workers=0, max_batch=64) as service:
+        served = service.predict_many(MODEL, batch)
+        version = service.registry.get(MODEL).version
+    direct = MonteCarloPredictor(
+        network,
+        grng=GrngStream(make_grng(GRNG, seed=worker_stream_seed(SEED, version, 0))),
+        n_samples=n_samples,
+        batched=True,
+    ).predict_proba_batched(batch)
+    identical = served.shape == direct.shape and bool((served == direct).all())
+    print(
+        "== Equivalence: served vs direct predict_proba_batched "
+        f"(same seed, batch of {batch.shape[0]}): "
+        + ("bit-for-bit identical" if identical else "MISMATCH")
+    )
+    print()
+    return identical
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: tiny workload, no absolute-speedup enforcement",
+    )
+    args = parser.parse_args(argv)
+    n_samples = 5 if args.quick else 20
+    n_images = 64 if args.quick else 256
+    _, _, images, _ = load_digits_split(n_train=10, n_test=n_images, seed=SEED)
+    network = BayesianNetwork((784, 100, 10), seed=SEED)
+
+    ok = check_equivalence(network, images, n_samples)
+    headline, capacity = bench_throughput(network, images, n_samples, args.quick)
+    bench_open_loop_latency(network, images, n_samples, capacity, args.quick)
+    if not ok:
+        print("FAIL: served predictions diverged from the direct batched path")
+        return 1
+    if not args.quick and headline < 5.0:
+        print(f"FAIL: micro-batching speedup {headline:.1f}x below the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,13 +13,16 @@ Subpackages
 ``repro.rng``         LFSR / parallel-counter substrate (S2)
 ``repro.grng``        Gaussian RNGs: RLF, BNNWallace, baselines (S3-S9)
 ``repro.bnn``         NumPy FNN/BNN training and inference (S10-S13)
+``repro.serving``     micro-batching inference service (registry,
+                      batcher, workers, cache, metrics, load generator)
 ``repro.datasets``    synthetic digit / tabular datasets (S14)
 ``repro.hw``          accelerator simulator + resource models (S15-S21)
 ``repro.experiments`` one module per paper table/figure (S22)
 
 See ``README.md`` for the quickstart and ``docs/ARCHITECTURE.md`` /
-``docs/GRNG.md`` for the system data flow, the block-sampling seam, and
-per-generator algorithm notes with measured quality.
+``docs/GRNG.md`` / ``docs/SERVING.md`` for the system data flow, the
+block-sampling seam, per-generator algorithm notes with measured
+quality, and the serving architecture with tuning knobs.
 """
 
 __version__ = "1.0.0"

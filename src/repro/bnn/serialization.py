@@ -35,11 +35,33 @@ def save_posterior(path: "str | pathlib.Path", posterior: list[dict[str, np.ndar
             if key not in params:
                 raise ConfigurationError(f"layer {index} missing {key!r}")
             arrays[f"layer{index}_{key}"] = np.asarray(params[key], dtype=np.float64)
-    meta = {"version": FORMAT_VERSION, "layers": len(posterior)}
+    meta = {"version": FORMAT_VERSION, "kind": "posterior", "layers": len(posterior)}
     arrays["metadata"] = np.frombuffer(
         json.dumps(meta).encode(), dtype=np.uint8
     ).copy()
     np.savez_compressed(str(path), **arrays)
+
+
+def _check_format_version(path: "str | pathlib.Path", meta: dict) -> None:
+    """Reject incompatible ``metadata`` versions with an actionable message.
+
+    A *newer* version means the file was written by a newer library than
+    the one reading it — the one failure mode that silently corrupting
+    would be worst, so it gets its own message telling the operator to
+    upgrade rather than suggesting the file is broken.
+    """
+    version = meta.get("version")
+    if not isinstance(version, int):
+        raise ConfigurationError(
+            f"{path}: malformed format version {version!r} in metadata"
+        )
+    if version > FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{path}: format version {version} is newer than this library "
+            f"supports (<= {FORMAT_VERSION}); upgrade the repro library to read it"
+        )
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(f"{path}: unsupported format version {version}")
 
 
 def load_posterior(path: "str | pathlib.Path") -> list[dict[str, np.ndarray]]:
@@ -48,10 +70,16 @@ def load_posterior(path: "str | pathlib.Path") -> list[dict[str, np.ndarray]]:
         if "metadata" not in data:
             raise ConfigurationError(f"{path}: not a posterior file (no metadata)")
         meta = json.loads(bytes(data["metadata"].tobytes()).decode())
-        if meta.get("version") != FORMAT_VERSION:
+        _check_format_version(path, meta)
+        # Version-1 posterior files predate the "kind" field; absence
+        # means posterior.
+        kind = meta.get("kind", "posterior")
+        if kind != "posterior":
             raise ConfigurationError(
-                f"{path}: unsupported format version {meta.get('version')}"
+                f"{path}: not a posterior file (kind={kind!r})"
             )
+        if not isinstance(meta.get("layers"), int):
+            raise ConfigurationError(f"{path}: malformed metadata (no layer count)")
         posterior = []
         for index in range(meta["layers"]):
             layer = {}
@@ -103,3 +131,56 @@ def export_memory_image(
         image[f"layer{index}_mu_bias_codes"] = fmt.quantize(layer["mu_bias"]).astype(np.int16)
         image[f"layer{index}_sigma_bias_codes"] = fmt.quantize(layer["sigma_bias"]).astype(np.int16)
     return image
+
+
+def save_memory_image(
+    path: "str | pathlib.Path", image: dict[str, np.ndarray], *, bit_length: int
+) -> None:
+    """Persist a quantized memory image (:func:`export_memory_image`) as ``.npz``.
+
+    The file records the quantization ``bit_length`` in its metadata so a
+    loader can reconstruct the matching
+    :func:`~repro.bnn.quantized.weight_format` without guessing.
+    """
+    if not image:
+        raise ConfigurationError("memory image is empty")
+    arrays: dict[str, np.ndarray] = {}
+    for name, codes in image.items():
+        if name == "metadata":
+            raise ConfigurationError("array name 'metadata' is reserved")
+        arrays[name] = np.asarray(codes, dtype=np.int16)
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "memory-image",
+        "bit_length": int(bit_length),
+        "arrays": sorted(arrays),
+    }
+    arrays["metadata"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_memory_image(
+    path: "str | pathlib.Path",
+) -> tuple[dict[str, np.ndarray], int]:
+    """Load ``(image, bit_length)`` saved by :func:`save_memory_image`."""
+    with np.load(str(path)) as data:
+        if "metadata" not in data:
+            raise ConfigurationError(f"{path}: not a memory-image file (no metadata)")
+        meta = json.loads(bytes(data["metadata"].tobytes()).decode())
+        _check_format_version(path, meta)
+        if meta.get("kind") != "memory-image":
+            raise ConfigurationError(
+                f"{path}: not a memory-image file (kind={meta.get('kind')!r})"
+            )
+        if not isinstance(meta.get("bit_length"), int) or not isinstance(
+            meta.get("arrays"), list
+        ):
+            raise ConfigurationError(f"{path}: malformed memory-image metadata")
+        image: dict[str, np.ndarray] = {}
+        for name in meta["arrays"]:
+            if name not in data:
+                raise ConfigurationError(f"{path}: missing array {name}")
+            image[name] = data[name]
+    return image, int(meta["bit_length"])

@@ -5,13 +5,20 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run table1 [--out results/]
     python -m repro.cli run-all [--out results/]
-    python -m repro.cli grng rlf --samples 10000
+    python -m repro.cli grng rlf --samples 10000 --seed 7
     python -m repro.cli design-space --grng rlf
+    python -m repro.cli serve-demo --requests 256 --workers 2
+    python -m repro.cli loadtest --pattern open --rate 200 --duration 3
 
 ``run`` executes one registered experiment (a paper table/figure) and
-prints/saves the rendered table; ``grng`` draws samples from a registered
-generator and prints its quality metrics; ``design-space`` runs the §5.4
-explorer.
+prints/saves the rendered table; ``run-all`` runs every experiment,
+continuing past failures and exiting non-zero with a failure summary;
+``grng`` draws samples from a registered generator and prints its quality
+metrics (reproducible via ``--seed``); ``design-space`` runs the §5.4
+explorer; ``serve-demo`` trains a small BNN, round-trips it through the
+posterior file format, and serves a demo workload through the
+micro-batching service; ``loadtest`` drives the service with an open- or
+closed-loop arrival pattern and reports throughput/latency.
 """
 
 from __future__ import annotations
@@ -19,11 +26,20 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import tempfile
+import traceback
 
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.serialization import save_posterior
+from repro.bnn.trainer import Trainer
+from repro.datasets import load_digits_split
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.grng import available_grngs, make_grng
 from repro.grng.quality import runs_test, stability_error
 from repro.hw.design_space import explore_design_space
+from repro.serving import BnnService, ServiceConfig, run_closed_loop, run_open_loop
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -52,9 +68,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
+    """Run every experiment; a failure doesn't stop the rest.
+
+    Exit status is non-zero when anything failed, with a per-experiment
+    summary at the end — so a long batch run reports *all* the broken
+    experiments instead of dying on the first one.
+    """
+    failures: dict[str, Exception] = {}
     for name in sorted(EXPERIMENTS):
         print(f"### {name}")
-        _run_one(name, args.out)
+        try:
+            _run_one(name, args.out)
+        except Exception as error:  # noqa: BLE001 - keep the batch going
+            failures[name] = error
+            traceback.print_exc()
+            print(f"### {name} FAILED: {type(error).__name__}: {error}")
+    print(f"### ran {len(EXPERIMENTS)} experiments, {len(failures)} failed")
+    if failures:
+        for name, error in sorted(failures.items()):
+            print(f"###   {name}: {type(error).__name__}: {error}")
+        return 1
     return 0
 
 
@@ -64,6 +97,7 @@ def _cmd_grng(args: argparse.Namespace) -> int:
     stability = stability_error(samples)
     runs = runs_test(samples)
     print(f"generator : {args.generator}")
+    print(f"seed      : {args.seed}")
     print(f"samples   : {args.samples}")
     print(f"mu error  : {stability.mu_error:.5f}")
     print(f"sigma err : {stability.sigma_error:.5f}")
@@ -81,6 +115,118 @@ def _cmd_design_space(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Serving verbs
+# ----------------------------------------------------------------------
+def _build_demo_service(
+    args: argparse.Namespace, model_dir: pathlib.Path
+) -> tuple[BnnService, np.ndarray]:
+    """Train (optionally), export, and serve the demo digits model.
+
+    Deliberately walks the full production path: train → save posterior →
+    ``register_file`` → serve, so the demo exercises the same
+    serialization and registry seams a deployment would.
+    """
+    x_train, y_train, x_test, _ = load_digits_split(
+        n_train=max(args.train_images, 1), n_test=args.images, seed=args.seed
+    )
+    network = BayesianNetwork((784, args.hidden, 10), seed=args.seed)
+    if args.epochs > 0:
+        Trainer(network, epochs=args.epochs, seed=args.seed).fit(x_train, y_train)
+    model_path = model_dir / "demo-digits.npz"
+    save_posterior(model_path, network.posterior_parameters())
+    service = BnnService(
+        config=ServiceConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            workers=args.workers,
+            cache_capacity=args.cache_capacity,
+        )
+    )
+    service.register_file(
+        args.model_name,
+        model_path,
+        n_samples=args.n_samples,
+        grng=args.grng,
+        seed=args.seed,
+    )
+    print(
+        f"serving {args.model_name!r} (784-{args.hidden}-10, N={args.n_samples}, "
+        f"grng={args.grng}) from {model_path.name}: "
+        f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
+        f"workers={args.workers}"
+    )
+    return service, x_test
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--model-name", default="digits")
+    parser.add_argument("--hidden", type=int, default=48, help="hidden layer width")
+    parser.add_argument(
+        "--epochs", type=int, default=1, help="demo training epochs (0 = untrained)"
+    )
+    parser.add_argument("--train-images", type=int, default=128)
+    parser.add_argument("--images", type=int, default=64, help="distinct request images")
+    parser.add_argument("--n-samples", type=int, default=10, help="MC samples per request")
+    parser.add_argument("--grng", choices=available_grngs(), default="bnnwallace")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--queue-capacity", type=int, default=1024)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--cache-capacity", type=int, default=4096)
+
+
+def _run_demo_workload(args: argparse.Namespace, run) -> int:
+    """Shared serve-demo/loadtest scaffolding around a load-pattern callback.
+
+    Builds the demo service in a throwaway model directory, runs
+    ``run(service, images)`` (which returns a
+    :class:`~repro.serving.loadgen.LoadStats`), and prints the load stats
+    plus the service metrics.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-serving-") as model_dir:
+        service, images = _build_demo_service(args, pathlib.Path(model_dir))
+        with service:
+            stats = run(service, images)
+            print()
+            print(stats.render())
+            print()
+            print(service.metrics.render())
+    return 0
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    return _run_demo_workload(
+        args,
+        lambda service, images: run_closed_loop(
+            service, args.model_name, images, total_requests=args.requests
+        ),
+    )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    if args.pattern == "closed":
+        run = lambda service, images: run_closed_loop(  # noqa: E731
+            service,
+            args.model_name,
+            images,
+            total_requests=args.requests,
+            window=args.window,
+        )
+    else:
+        run = lambda service, images: run_open_loop(  # noqa: E731
+            service,
+            args.model_name,
+            images,
+            rate_rps=args.rate,
+            duration_s=args.duration,
+            seed=args.seed,
+        )
+    return _run_demo_workload(args, run)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VIBNN reproduction command-line interface"
@@ -96,14 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=pathlib.Path, default=None, help="save rendered table here")
     run.set_defaults(func=_cmd_run)
 
-    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all = sub.add_parser(
+        "run-all", help="run every experiment (continues past failures)"
+    )
     run_all.add_argument("--out", type=pathlib.Path, default=None)
     run_all.set_defaults(func=_cmd_run_all)
 
     grng = sub.add_parser("grng", help="sample a generator and report quality")
     grng.add_argument("generator", choices=available_grngs())
     grng.add_argument("--samples", type=int, default=20_000)
-    grng.add_argument("--seed", type=int, default=0)
+    grng.add_argument(
+        "--seed", type=int, default=0, help="generator seed (echoed for reproducibility)"
+    )
     grng.set_defaults(func=_cmd_grng)
 
     design = sub.add_parser("design-space", help="explore §5.4 design points")
@@ -112,6 +262,25 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--max-pe-sets", type=int, default=25)
     design.add_argument("--top", type=int, default=10)
     design.set_defaults(func=_cmd_design_space)
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="train a small BNN and serve a demo workload via the micro-batching service",
+    )
+    _add_serving_arguments(serve)
+    serve.add_argument("--requests", type=int, default=256)
+    serve.set_defaults(func=_cmd_serve_demo)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive the serving stack with an open/closed-loop load pattern"
+    )
+    _add_serving_arguments(loadtest)
+    loadtest.add_argument("--pattern", choices=("closed", "open"), default="closed")
+    loadtest.add_argument("--requests", type=int, default=512, help="closed-loop total")
+    loadtest.add_argument("--window", type=int, default=None, help="closed-loop in-flight window")
+    loadtest.add_argument("--rate", type=float, default=200.0, help="open-loop arrivals/sec")
+    loadtest.add_argument("--duration", type=float, default=3.0, help="open-loop seconds")
+    loadtest.set_defaults(func=_cmd_loadtest)
     return parser
 
 

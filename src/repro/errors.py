@@ -38,3 +38,21 @@ class TrainingError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator received inconsistent parameters."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the serving subsystem."""
+
+
+class UnknownModelError(ServingError):
+    """A request named a model that is not registered in the serving registry."""
+
+
+class ServiceOverloaded(ServingError):
+    """The serving request queue is full; the caller should back off and retry.
+
+    This is the typed backpressure signal of the micro-batching scheduler:
+    raised at submit time when the bounded queue already holds
+    ``queue_capacity`` pending requests, so producers feel load instead of
+    the service buffering without bound.
+    """

@@ -1,0 +1,56 @@
+"""Serving subsystem: micro-batched BNN inference behind a request API.
+
+PR 1 built the fast path — all Monte-Carlo passes of a prediction stacked
+into one tensor computation fed by a single block GRNG draw.  This package
+puts that engine behind a request/response boundary and recovers the batch
+efficiency from *traffic* instead of from callers: many concurrent
+single-image requests are coalesced into the large
+``predict_proba_batched`` calls the engine is optimized for.
+
+Modules
+-------
+``registry``  named/versioned models loaded from saved posteriors
+``batcher``   bounded request queue + micro-batch coalescing (backpressure)
+``workers``   serving threads with per-worker decorrelated GRNG streams
+``cache``     LRU prediction cache on (model, version, N, input digest)
+``metrics``   latency percentiles, batch histogram, queue/cache gauges
+``service``   the :class:`BnnService` façade (``submit`` / ``predict_many``)
+``loadgen``   open- and closed-loop load-test harness
+
+See ``docs/SERVING.md`` for the architecture, tuning knobs, and measured
+throughput; ``benchmarks/bench_serving.py`` is the end-to-end benchmark
+with the ≥5x micro-batching acceptance gate.
+"""
+
+from repro.serving.batcher import Batch, MicroBatcher, PredictionTicket
+from repro.serving.cache import PredictionCache, input_digest
+from repro.serving.loadgen import LoadStats, run_closed_loop, run_open_loop
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.registry import (
+    ModelEntry,
+    ModelRegistry,
+    network_from_posterior,
+    worker_stream_seed,
+)
+from repro.serving.service import BnnService, ServiceConfig
+from repro.serving.workers import ServingWorker, WorkerPool
+
+__all__ = [
+    "Batch",
+    "BnnService",
+    "LoadStats",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PredictionCache",
+    "PredictionTicket",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServingWorker",
+    "WorkerPool",
+    "input_digest",
+    "network_from_posterior",
+    "run_closed_loop",
+    "run_open_loop",
+    "worker_stream_seed",
+]

@@ -1,0 +1,290 @@
+"""Micro-batching scheduler: coalesce single-image requests into batches.
+
+The serving subsystem's core trade: the batched Monte-Carlo engine
+(:meth:`~repro.bnn.inference.MonteCarloPredictor.predict_proba_batched`)
+amortises its dominant cost — drawing ``n_samples * eps_per_pass``
+Gaussian epsilons — over every row of its input batch, so 64 coalesced
+single-image requests cost roughly one request's worth of GRNG work plus
+64-row GEMMs.  :class:`MicroBatcher` is the queue that performs that
+coalescing:
+
+* ``submit`` appends to a **bounded** queue and raises
+  :class:`~repro.errors.ServiceOverloaded` when full (typed backpressure —
+  producers feel load instead of the queue growing without bound);
+* ``next_batch`` (worker side) pops up to ``max_batch`` requests **for one
+  model**, waiting at most ``max_wait_ms`` after the first pop for the
+  batch to fill — the classic latency/throughput knob;
+* ``drain_tick`` is the non-blocking variant used by the synchronous
+  (caller-driven) service mode and by tests; an empty queue is a no-op
+  tick returning ``None``.
+
+Requests for different models may interleave in the queue; a batch only
+ever contains rows for a single model (one ``predict_proba_batched`` call
+serves one posterior), and skipped requests keep their queue order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServiceOverloaded, ServingError
+from repro.utils.validation import check_positive
+
+
+class PredictionTicket:
+    """Future-like handle for one submitted prediction request.
+
+    Created by :meth:`~repro.serving.service.BnnService.submit`; resolved
+    by whichever worker executes the batch the request lands in (or
+    immediately, on a cache hit).  ``created_at`` / ``completed_at`` are
+    ``time.perf_counter`` stamps so client-observed latency and the
+    service's recorded latency are the same number.
+    """
+
+    __slots__ = ("model", "created_at", "completed_at", "_event", "_value", "_error")
+
+    def __init__(self, model: str) -> None:
+        self.model = model
+        self.created_at = time.perf_counter()
+        self.completed_at: float | None = None
+        self._event = threading.Event()
+        self._value: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether a result or error has been delivered."""
+        return self._event.is_set()
+
+    def set_result(self, value: np.ndarray) -> None:
+        self._value = value
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def latency(self) -> float:
+        """Seconds from submit to completion (requires :meth:`done`)."""
+        if self.completed_at is None:
+            raise ServingError("ticket is not complete yet")
+        return self.completed_at - self.created_at
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until resolved; return the probability row or re-raise.
+
+        Returns a private copy per call: coalesced duplicate requests share
+        one ticket, so handing out the stored array would let one caller's
+        in-place mutation corrupt another's result (the cache copies on
+        read for the same reason).
+        """
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"prediction for model {self.model!r} timed out after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value.copy()
+
+
+class _Request:
+    __slots__ = ("row", "ticket")
+
+    def __init__(self, row: np.ndarray, ticket: PredictionTicket) -> None:
+        self.row = row
+        self.ticket = ticket
+
+
+class Batch:
+    """One model's worth of coalesced requests, ready for a single MC call."""
+
+    __slots__ = ("model", "rows", "tickets")
+
+    def __init__(self, model: str, rows: list[np.ndarray], tickets: list[PredictionTicket]) -> None:
+        self.model = model
+        self.rows = rows
+        self.tickets = tickets
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def stack(self) -> np.ndarray:
+        """The ``(len(batch), in_features)`` input of the batched MC call."""
+        return np.stack(self.rows)
+
+
+class MicroBatcher:
+    """Bounded request queue with same-model micro-batch coalescing.
+
+    Parameters
+    ----------
+    max_batch:
+        Upper bound on rows per batch — the micro-batching window.
+    max_wait_ms:
+        After the first request of a batch is popped, how long a blocking
+        ``next_batch`` waits for the batch to fill before dispatching a
+        partial one.  ``0`` dispatches whatever is queued immediately.
+    capacity:
+        Bounded queue size; ``submit`` beyond it raises
+        :class:`~repro.errors.ServiceOverloaded`.
+    """
+
+    def __init__(self, max_batch: int = 64, max_wait_ms: float = 2.0, capacity: int = 1024) -> None:
+        check_positive("max_batch", max_batch)
+        check_positive("capacity", capacity)
+        if max_wait_ms < 0:
+            raise ConfigurationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if capacity < max_batch:
+            raise ConfigurationError(
+                f"capacity ({capacity}) must be >= max_batch ({max_batch})"
+            )
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.capacity = int(capacity)
+        self._queue: deque[_Request] = deque()
+        # Per-model pending counts, kept in lockstep with the queue so
+        # "is a full batch ready?" and the fill-wait below are O(1);
+        # _full is the set of models whose count reaches max_batch.
+        self._counts: dict[str, int] = {}
+        self._full: set[str] = set()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Requests currently queued (all models)."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def submit(self, row: np.ndarray, ticket: PredictionTicket) -> int:
+        """Enqueue one request; returns the queue depth after the append.
+
+        Raises :class:`~repro.errors.ServiceOverloaded` when the queue is
+        at capacity and :class:`~repro.errors.ServingError` when closed.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise ServingError("batcher is closed")
+            if len(self._queue) >= self.capacity:
+                raise ServiceOverloaded(
+                    f"request queue full ({self.capacity} pending); retry later"
+                )
+            self._queue.append(_Request(row, ticket))
+            model = ticket.model
+            self._counts[model] = self._counts.get(model, 0) + 1
+            if self._counts[model] >= self.max_batch:
+                self._full.add(model)
+            depth = len(self._queue)
+            self._not_empty.notify()
+            return depth
+
+    # ------------------------------------------------------------------
+    def _pop_batch_locked(self) -> Batch | None:
+        """Pop up to ``max_batch`` same-model requests (caller holds lock).
+
+        Scanning stops as soon as the batch is full (or the head model's
+        pending count is exhausted), and skipped other-model requests are
+        spliced back in front of the untouched tail — so a pop is
+        O(batch + skipped), not O(queue), and never holds the lock for a
+        full-queue rebuild under multi-model load.
+        """
+        if not self._queue:
+            return None
+        model = self._queue[0].ticket.model
+        available = min(self._counts[model], self.max_batch)
+        taken: list[_Request] = []
+        skipped: list[_Request] = []
+        while len(taken) < available:
+            request = self._queue.popleft()
+            if request.ticket.model == model:
+                taken.append(request)
+            else:
+                skipped.append(request)
+        self._queue.extendleft(reversed(skipped))
+        remaining = self._counts[model] - len(taken)
+        if remaining:
+            self._counts[model] = remaining
+        else:
+            del self._counts[model]
+        if remaining < self.max_batch:
+            self._full.discard(model)
+        return Batch(model, [r.row for r in taken], [r.ticket for r in taken])
+
+    def full_batch_ready(self) -> bool:
+        """Whether *any* model has ``max_batch`` rows pending.
+
+        The synchronous service mode uses this as its auto-drain trigger,
+        so submission bursts dispatch full micro-batches and partial
+        remainders wait for an explicit flush.  The check covers every
+        model, not just the head of the queue — a full batch queued behind
+        another model's partial rows still triggers the drain (the drain
+        loop pops head batches until the full one dispatches).
+        """
+        with self._lock:
+            return bool(self._full)
+
+    def drain_tick(self) -> Batch | None:
+        """Non-blocking tick: pop one batch if anything is queued.
+
+        An empty queue is a valid empty tick — returns ``None``, touches
+        nothing.  This is the caller-driven path of the synchronous service
+        mode.
+        """
+        with self._lock:
+            return self._pop_batch_locked()
+
+    def next_batch(self, timeout: float | None = None) -> Batch | None:
+        """Blocking pop for worker threads.
+
+        Waits up to ``timeout`` seconds for a first request (``None`` on
+        timeout or when closed and drained), then up to ``max_wait_ms``
+        more for ``max_batch`` same-model requests to accumulate before
+        dispatching a partial batch.
+        """
+        with self._not_empty:
+            if not self._queue and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._queue:
+                return None
+            if self.max_wait_ms > 0:
+                window = self.max_wait_ms / 1000.0
+                model = self._queue[0].ticket.model
+                deadline = time.perf_counter() + window
+                while not self._closed:
+                    if self._queue:
+                        head = self._queue[0].ticket.model
+                        if head != model:
+                            # Another worker popped the model we were
+                            # filling for; the new head gets its own fill
+                            # window instead of inheriting a spent one.
+                            model = head
+                            deadline = time.perf_counter() + window
+                        if self._counts.get(model, 0) >= self.max_batch:
+                            break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            return self._pop_batch_locked()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions and wake blocked workers.
+
+        Already-queued requests remain poppable so a shutdown can drain.
+        """
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()

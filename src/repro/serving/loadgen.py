@@ -1,0 +1,183 @@
+"""Load-test harness: open- and closed-loop request generators.
+
+Two canonical arrival patterns drive :class:`~repro.serving.service.BnnService`:
+
+* **Closed loop** (:func:`run_closed_loop`) — a fixed window of in-flight
+  requests; the next window is issued only when the previous one
+  completed.  Measures *capacity*: the maximum sustainable requests/sec of
+  the configuration, which is what the ≥5x micro-batching-vs-per-request
+  benchmark gate compares.
+* **Open loop** (:func:`run_open_loop`) — requests arrive on a Poisson
+  process at ``rate_rps`` regardless of completions, the standard model of
+  independent users.  Measures *latency under load* and exercises the
+  backpressure path: arrivals beyond the bounded queue are dropped and
+  counted, not buffered.
+
+Arrival randomness is seeded through
+:func:`repro.utils.seeding.spawn_generator`, so a load test is replayable.
+Latencies are taken from the tickets' own submit/complete timestamps — the
+same numbers the service metrics record — so client- and service-side
+views agree.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServiceOverloaded
+from repro.serving.batcher import PredictionTicket
+from repro.serving.metrics import format_latency, percentile_dict
+from repro.serving.service import BnnService
+from repro.utils.seeding import spawn_generator
+from repro.utils.validation import check_positive
+
+#: Ceiling on waiting for stragglers when a run ends.
+_RESULT_TIMEOUT_S = 60.0
+
+
+@dataclass
+class LoadStats:
+    """Outcome of one load-generator run."""
+
+    pattern: str
+    offered: int
+    completed: int
+    #: Open-loop arrivals rejected by backpressure and lost.
+    dropped: int = 0
+    #: Closed-loop rejections that were retried (and eventually completed).
+    retried: int = 0
+    failed: int = 0
+    duration_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall clock."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_percentiles(self) -> dict[str, float]:
+        return percentile_dict(self.latencies_s)
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"pattern      : {self.pattern}",
+                f"offered      : {self.offered} requests"
+                + (f" ({self.dropped} dropped by backpressure)" if self.dropped else "")
+                + (f" ({self.retried} backpressure retries)" if self.retried else ""),
+                f"completed    : {self.completed} ({self.failed} failed)",
+                f"duration     : {self.duration_s:.3f}s",
+                f"throughput   : {self.throughput_rps:,.1f} req/s",
+                f"latency      : {format_latency(self.latency_percentiles())}",
+            ]
+        )
+
+
+def _collect(stats: LoadStats, tickets: list[PredictionTicket], timeout: float) -> None:
+    for ticket in tickets:
+        try:
+            ticket.result(timeout)
+        except Exception:  # noqa: BLE001 - a load test tallies failures
+            stats.failed += 1
+        else:
+            stats.completed += 1
+            stats.latencies_s.append(ticket.latency())
+
+
+def run_closed_loop(
+    service: BnnService,
+    model: str,
+    images: np.ndarray,
+    *,
+    total_requests: int,
+    window: int | None = None,
+) -> LoadStats:
+    """Issue ``total_requests`` in back-to-back windows; measure capacity.
+
+    ``window`` defaults to the service's ``max_batch`` so each window maps
+    onto one full micro-batch.  Requests cycle through ``images``.
+    Transient :class:`~repro.errors.ServiceOverloaded` rejections are
+    retried after a short backoff (a closed-loop client waits, it does not
+    drop).
+    """
+    check_positive("total_requests", total_requests)
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 2 or images.shape[0] == 0:
+        raise ConfigurationError(
+            f"images must be a non-empty (count, features) array, got {images.shape}"
+        )
+    if window is None:
+        window = service.config.max_batch
+    check_positive("window", window)
+    stats = LoadStats(pattern="closed-loop", offered=total_requests, completed=0)
+    start = time.perf_counter()
+    sent = 0
+    while sent < total_requests:
+        take = min(window, total_requests - sent)
+        tickets: list[PredictionTicket] = []
+        for offset in range(take):
+            row = images[(sent + offset) % images.shape[0]]
+            while True:
+                try:
+                    tickets.append(service.submit(model, row))
+                    break
+                except ServiceOverloaded:
+                    stats.retried += 1  # the request is retried, not lost
+                    time.sleep(0.001)
+        service.flush()
+        _collect(stats, tickets, _RESULT_TIMEOUT_S)
+        sent += take
+    stats.duration_s = time.perf_counter() - start
+    return stats
+
+
+def run_open_loop(
+    service: BnnService,
+    model: str,
+    images: np.ndarray,
+    *,
+    rate_rps: float,
+    duration_s: float,
+    seed: int = 0,
+) -> LoadStats:
+    """Poisson arrivals at ``rate_rps`` for ``duration_s``; measure latency.
+
+    Requests that hit a full queue are dropped (counted, not retried) —
+    open-loop clients model independent users, whose arrivals do not slow
+    down because the service is busy.  Meaningful latency numbers need a
+    service with ``workers >= 1``; in synchronous mode only full batches
+    dispatch during the run and the remainder drains at the end.
+    """
+    check_positive("rate_rps", rate_rps)
+    check_positive("duration_s", duration_s)
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 2 or images.shape[0] == 0:
+        raise ConfigurationError(
+            f"images must be a non-empty (count, features) array, got {images.shape}"
+        )
+    rng = spawn_generator(seed, "loadgen-open")
+    stats = LoadStats(pattern=f"open-loop @ {rate_rps:g} req/s", offered=0, completed=0)
+    tickets: list[PredictionTicket] = []
+    start = time.perf_counter()
+    next_arrival = start
+    index = 0
+    while True:
+        next_arrival += rng.exponential(1.0 / rate_rps)
+        now = time.perf_counter()
+        if next_arrival - start > duration_s:
+            break
+        if next_arrival > now:
+            time.sleep(next_arrival - now)
+        stats.offered += 1
+        try:
+            tickets.append(service.submit(model, images[index % images.shape[0]]))
+        except ServiceOverloaded:
+            stats.dropped += 1
+        index += 1
+    service.flush()
+    _collect(stats, tickets, _RESULT_TIMEOUT_S)
+    stats.duration_s = time.perf_counter() - start
+    return stats

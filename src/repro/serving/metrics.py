@@ -1,0 +1,173 @@
+"""Service metrics: latency percentiles, batch histogram, queue/cache stats.
+
+Everything a load test needs to judge the micro-batcher: request latency
+(p50/p95/p99 over a bounded ring of recent samples), the batch-size
+histogram (is coalescing actually happening, or is the service degenerating
+into per-request calls?), queue depth (headroom before
+:class:`~repro.errors.ServiceOverloaded`), cache hit rate, and overload
+drops.  All counters are thread-safe; reading is done through
+:meth:`ServiceMetrics.snapshot`, which returns plain Python values safe to
+serialise or diff.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Percentiles reported by :meth:`ServiceMetrics.latency_percentiles`.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile_dict(samples) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for a latency sample list.
+
+    All zeros when ``samples`` is empty.  Shared by the service metrics
+    and the load generator so both report the same percentile set.
+    """
+    if len(samples) == 0:
+        return {f"p{int(p)}": 0.0 for p in LATENCY_PERCENTILES}
+    values = np.percentile(samples, LATENCY_PERCENTILES)
+    return {f"p{int(p)}": float(v) for p, v in zip(LATENCY_PERCENTILES, values)}
+
+
+def format_latency(latency: dict[str, float]) -> str:
+    """Render a :func:`percentile_dict` as ``p50=..ms p95=..ms p99=..ms``."""
+    return "  ".join(
+        f"p{int(p)}={latency[f'p{int(p)}'] * 1e3:.2f}ms" for p in LATENCY_PERCENTILES
+    )
+
+
+class ServiceMetrics:
+    """Thread-safe accumulator for serving-side observability.
+
+    Parameters
+    ----------
+    latency_window:
+        Ring-buffer size for latency samples; percentiles are computed
+        over the most recent ``latency_window`` requests.
+    """
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        if latency_window < 1:
+            raise ConfigurationError(
+                f"latency_window must be >= 1, got {latency_window}"
+            )
+        self._lock = threading.Lock()
+        self._latencies = np.zeros(latency_window)
+        self._latency_count = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.overloads = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.batch_rows = 0
+        self._batch_histogram: dict[int, int] = {}
+        self.max_queue_depth = 0
+        self.last_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies[self._latency_count % self._latencies.size] = seconds
+            self._latency_count += 1
+            self.requests_served += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.requests_failed += 1
+
+    def record_overload(self) -> None:
+        with self._lock:
+            self.overloads += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_rows += size
+            self._batch_histogram[size] = self._batch_histogram.get(size, 0) + 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.last_queue_depth = depth
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def latency_percentiles(self) -> dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` in seconds (0.0 if empty)."""
+        with self._lock:
+            filled = min(self._latency_count, self._latencies.size)
+            window = self._latencies[:filled].copy()
+        return percentile_dict(window)
+
+    def batch_histogram(self) -> dict[int, int]:
+        """Batch size → number of batches dispatched at that size."""
+        with self._lock:
+            return dict(sorted(self._batch_histogram.items()))
+
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return self.batch_rows / self.batches if self.batches else 0.0
+
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-value view of every counter plus derived statistics."""
+        percentiles = self.latency_percentiles()
+        histogram = self.batch_histogram()
+        mean_batch = self.mean_batch_size()
+        hit_rate = self.cache_hit_rate()
+        with self._lock:
+            return {
+                "requests_served": self.requests_served,
+                "requests_failed": self.requests_failed,
+                "overloads": self.overloads,
+                "batches": self.batches,
+                "mean_batch_size": mean_batch,
+                "batch_histogram": histogram,
+                "latency_s": percentiles,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_hit_rate": hit_rate,
+                "max_queue_depth": self.max_queue_depth,
+                "last_queue_depth": self.last_queue_depth,
+            }
+
+    def render(self) -> str:
+        """Aligned text block of :meth:`snapshot` for CLI output."""
+        snap = self.snapshot()
+        latency = snap["latency_s"]
+        histogram = ", ".join(
+            f"{size}x{count}" for size, count in snap["batch_histogram"].items()
+        )
+        lines = [
+            f"requests served : {snap['requests_served']}",
+            f"requests failed : {snap['requests_failed']}",
+            f"overload drops  : {snap['overloads']}",
+            f"batches         : {snap['batches']} (mean size {snap['mean_batch_size']:.1f})",
+            f"batch histogram : {histogram or '(none)'}",
+            f"latency         : {format_latency(latency)}",
+            f"cache           : {snap['cache_hits']} hits / {snap['cache_misses']} misses "
+            f"({snap['cache_hit_rate'] * 100.0:.1f}% hit rate)",
+            f"queue depth     : max {snap['max_queue_depth']}, last {snap['last_queue_depth']}",
+        ]
+        return "\n".join(lines)

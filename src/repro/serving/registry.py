@@ -1,0 +1,265 @@
+"""Model registry: named, versioned, ready-to-serve posteriors.
+
+The serving subsystem's model store.  Each entry pairs a
+:class:`~repro.bnn.bayesian.BayesianNetwork` (rebuilt from a saved
+posterior ``.npz`` via :mod:`repro.bnn.serialization`, or registered
+in-memory) with its serving parameters: Monte-Carlo sample count ``N``,
+GRNG name, and base seed.  Entries carry a **version** that bumps on every
+:meth:`ModelRegistry.reload`, which is what invalidates worker-local
+predictors and the prediction cache without any explicit signalling — both
+key on ``(name, version)``.
+
+Reproducibility under concurrency comes from :func:`worker_stream_seed`:
+worker ``w`` serving version ``v`` of a model with base seed ``s`` draws
+its epsilons from a :class:`~repro.grng.stream.GrngStream` seeded
+``derive_seed(s, "serving-worker", v, w)``.  Streams of different workers
+are decorrelated but each is a pure function of ``(seed, version, worker)``
+— so a single-worker service replays bit for bit, and the equivalence
+tests can reconstruct exactly the stream any worker used.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bnn.activations import inverse_softplus
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.serialization import load_posterior
+from repro.errors import ConfigurationError, UnknownModelError
+from repro.grng import make_grng
+from repro.grng.stream import GrngStream
+from repro.utils.seeding import derive_seed
+from repro.utils.validation import check_positive
+
+
+def network_from_posterior(
+    posterior: list[dict[str, np.ndarray]], *, prior=None, seed: int = 0
+) -> BayesianNetwork:
+    """Rebuild a :class:`BayesianNetwork` from exported ``(mu, sigma)``.
+
+    The inverse of
+    :meth:`~repro.bnn.bayesian.BayesianNetwork.posterior_parameters`:
+    layer sizes are inferred from the weight shapes, ``rho`` is recovered
+    as ``softplus^-1(sigma)``.  ``seed`` only seeds the layers' fallback
+    NumPy epsilon streams — the posterior parameters are taken verbatim.
+    """
+    if not posterior:
+        raise ConfigurationError("posterior parameter list is empty")
+    sizes = (posterior[0]["mu_weights"].shape[0],) + tuple(
+        params["mu_weights"].shape[1] for params in posterior
+    )
+    network = BayesianNetwork(sizes, prior=prior, seed=seed)
+    for layer, params in zip(network.layers, posterior):
+        layer.mu_weights = np.array(params["mu_weights"], dtype=np.float64)
+        layer.mu_bias = np.array(params["mu_bias"], dtype=np.float64)
+        layer.rho_weights = inverse_softplus(
+            np.asarray(params["sigma_weights"], dtype=np.float64)
+        )
+        layer.rho_bias = inverse_softplus(
+            np.asarray(params["sigma_bias"], dtype=np.float64)
+        )
+    return network
+
+
+def worker_stream_seed(base_seed: int, version: int, worker_index: int) -> int:
+    """Seed of worker ``worker_index``'s GRNG stream for a model version.
+
+    Derived through :func:`repro.utils.seeding.derive_seed` so concurrent
+    workers get decorrelated yet individually reproducible streams; bumping
+    the version (a reload) deterministically resets every worker's stream.
+    """
+    return derive_seed(base_seed, "serving-worker", version, worker_index)
+
+
+@dataclass
+class ModelEntry:
+    """One servable model: network + serving parameters + version."""
+
+    name: str
+    network: BayesianNetwork
+    n_samples: int = 10
+    grng_name: str = "bnnwallace"
+    seed: int = 0
+    version: int = 1
+    source_path: str | None = None
+    #: Serialized requests must match this row width.
+    in_features: int = field(init=False)
+    out_features: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_samples", self.n_samples)
+        self.in_features = self.network.layer_sizes[0]
+        self.out_features = self.network.layer_sizes[-1]
+
+    def build_predictor(self, worker_index: int) -> MonteCarloPredictor:
+        """Fresh batched predictor with this worker's decorrelated stream."""
+        grng = GrngStream(
+            make_grng(
+                self.grng_name,
+                seed=worker_stream_seed(self.seed, self.version, worker_index),
+            )
+        )
+        return MonteCarloPredictor(
+            self.network, grng=grng, n_samples=self.n_samples, batched=True
+        )
+
+
+class ModelRegistry:
+    """Thread-safe name → :class:`ModelEntry` store with reload/eviction.
+
+    Parameters
+    ----------
+    max_models:
+        Optional capacity; registering beyond it evicts the
+        least-recently-*used* entry (``get`` refreshes recency).  ``None``
+        means unbounded.
+    """
+
+    def __init__(self, max_models: int | None = None) -> None:
+        if max_models is not None:
+            check_positive("max_models", max_models)
+        self.max_models = max_models
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, ModelEntry] = OrderedDict()
+        # Last version each evicted name reached.  Re-registering a name
+        # continues from here, so caches and worker-local predictors keyed
+        # on (name, version) can never confuse the new model with a dead
+        # one that happened to share its name.
+        self._retired_versions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Registered model names, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, name: str) -> ModelEntry:
+        """Look up a model, refreshing its LRU recency."""
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                raise UnknownModelError(
+                    f"model {name!r} is not registered; "
+                    f"available: {', '.join(self._entries) or '(none)'}"
+                ) from None
+            self._entries.move_to_end(name)
+            return entry
+
+    # ------------------------------------------------------------------
+    def _install(self, entry: ModelEntry) -> ModelEntry:
+        with self._lock:
+            previous = self._entries.get(entry.name)
+            # The version counter is monotonic per name across replacement
+            # AND evict/re-register cycles, so (name, version) uniquely
+            # identifies one loaded posterior forever.
+            base = (
+                previous.version
+                if previous is not None
+                else self._retired_versions.get(entry.name, 0)
+            )
+            entry.version = base + 1
+            self._entries[entry.name] = entry
+            self._entries.move_to_end(entry.name)
+            while self.max_models is not None and len(self._entries) > self.max_models:
+                name, evicted = self._entries.popitem(last=False)
+                self._retired_versions[name] = evicted.version
+            return entry
+
+    def register_network(
+        self,
+        name: str,
+        network: BayesianNetwork,
+        *,
+        n_samples: int = 10,
+        grng: str = "bnnwallace",
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Register an in-memory network under ``name``."""
+        return self._install(
+            ModelEntry(name, network, n_samples=n_samples, grng_name=grng, seed=seed)
+        )
+
+    def register_posterior(
+        self,
+        name: str,
+        posterior: list[dict[str, np.ndarray]],
+        *,
+        n_samples: int = 10,
+        grng: str = "bnnwallace",
+        seed: int = 0,
+        source_path: "str | pathlib.Path | None" = None,
+    ) -> ModelEntry:
+        """Register exported ``(mu, sigma)`` parameters under ``name``."""
+        network = network_from_posterior(posterior, seed=seed)
+        return self._install(
+            ModelEntry(
+                name,
+                network,
+                n_samples=n_samples,
+                grng_name=grng,
+                seed=seed,
+                source_path=None if source_path is None else str(source_path),
+            )
+        )
+
+    def register_file(
+        self,
+        name: str,
+        path: "str | pathlib.Path",
+        *,
+        n_samples: int = 10,
+        grng: str = "bnnwallace",
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Load a saved posterior ``.npz`` and register it under ``name``.
+
+        The path is remembered so :meth:`reload` can pick up a newer file.
+        """
+        posterior = load_posterior(path)
+        return self.register_posterior(
+            name, posterior, n_samples=n_samples, grng=grng, seed=seed, source_path=path
+        )
+
+    # ------------------------------------------------------------------
+    def reload(self, name: str) -> ModelEntry:
+        """Re-read a file-backed model and bump its version.
+
+        Worker predictors and cache entries keyed on the old version become
+        unreachable, so a reload atomically invalidates both.
+        """
+        entry = self.get(name)
+        if entry.source_path is None:
+            raise ConfigurationError(
+                f"model {name!r} was registered in-memory; only file-backed "
+                "models can be reloaded"
+            )
+        return self.register_file(
+            name,
+            entry.source_path,
+            n_samples=entry.n_samples,
+            grng=entry.grng_name,
+            seed=entry.seed,
+        )
+
+    def evict(self, name: str) -> None:
+        """Remove a model; subsequent ``get`` raises ``UnknownModelError``.
+
+        The name's version counter is retired, not reset: registering the
+        same name later continues from the evicted version.
+        """
+        with self._lock:
+            if name not in self._entries:
+                raise UnknownModelError(f"model {name!r} is not registered")
+            self._retired_versions[name] = self._entries[name].version
+            del self._entries[name]

@@ -1,0 +1,321 @@
+"""`BnnService`: the synchronous request/response façade over the stack.
+
+Wiring::
+
+    submit(model, image) ──► PredictionCache ──hit──► resolved ticket
+                                  │ miss
+                                  ▼
+                            MicroBatcher (bounded queue, ServiceOverloaded)
+                                  │ coalesce ≤ max_batch same-model rows
+                                  ▼
+                 WorkerPool / caller thread (ServingWorker.execute)
+                                  │ one predict_proba_batched call
+                                  ▼
+                     tickets resolved + cache filled + metrics recorded
+
+Two execution modes share that path:
+
+* ``workers >= 1`` — a :class:`~repro.serving.workers.WorkerPool` drains
+  the queue in the background; ``submit`` returns immediately and the
+  ticket resolves concurrently.  This is the serving mode the open-loop
+  load generator targets.
+* ``workers == 0`` — **synchronous mode**: no threads; the queue drains on
+  the caller's thread whenever a full batch accumulates or
+  :meth:`BnnService.flush` / :meth:`BnnService.predict_many` runs.
+  Deterministic by construction (one worker stream, one dispatch order),
+  which is what the bit-for-bit equivalence tests and the closed-loop
+  benchmark use.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.errors import ConfigurationError, ServiceOverloaded
+from repro.serving.batcher import MicroBatcher, PredictionTicket
+from repro.serving.cache import PredictionCache
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.workers import ServingWorker, WorkerPool
+
+#: Default ceiling on how long a caller waits for one prediction.
+DEFAULT_RESULT_TIMEOUT_S = 60.0
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of the serving stack (see ``docs/SERVING.md``)."""
+
+    #: Micro-batching window: rows coalesced into one MC call.
+    max_batch: int = 64
+    #: How long a worker holds a partial batch open waiting for more rows.
+    max_wait_ms: float = 2.0
+    #: Bounded queue size; beyond it ``submit`` raises ``ServiceOverloaded``.
+    queue_capacity: int = 1024
+    #: Background serving threads; 0 = synchronous caller-driven mode.
+    workers: int = 2
+    #: Prediction-cache rows; 0 disables caching.
+    cache_capacity: int = 4096
+    #: Latency ring-buffer length for the percentile metrics.
+    latency_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+
+
+class BnnService:
+    """High-throughput BNN prediction service over a model registry."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
+        self.cache = PredictionCache(capacity=self.config.cache_capacity)
+        self.batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            capacity=self.config.queue_capacity,
+        )
+        if self.config.workers > 0:
+            self._pool: WorkerPool | None = WorkerPool(
+                self.registry,
+                self.batcher,
+                self.cache,
+                self.metrics,
+                workers=self.config.workers,
+            )
+            self._sync_worker = None
+        else:
+            self._pool = None
+            # Unstarted thread object used purely as the inline executor,
+            # so both modes run the identical batch path with worker 0's
+            # reproducible stream.
+            self._sync_worker = ServingWorker(
+                0, self.registry, self.batcher, self.cache, self.metrics
+            )
+        # In-flight coalescing (cache-enabled services only): cache key ->
+        # the pending primary ticket, so identical concurrent requests
+        # share one computed row instead of racing for the cache slot.
+        self._pending_lock = threading.Lock()
+        self._pending: dict[tuple, PredictionTicket] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration passthroughs (cache-coherent wrappers over the registry)
+    # ------------------------------------------------------------------
+    def register_network(self, name: str, network: BayesianNetwork, **kwargs) -> ModelEntry:
+        return self.registry.register_network(name, network, **kwargs)
+
+    def register_file(self, name: str, path: "str | pathlib.Path", **kwargs) -> ModelEntry:
+        return self.registry.register_file(name, path, **kwargs)
+
+    def reload(self, name: str) -> ModelEntry:
+        """Re-read a file-backed model; eagerly drops its cached rows."""
+        entry = self.registry.reload(name)
+        self.cache.invalidate_model(name)
+        return entry
+
+    def evict(self, name: str) -> None:
+        self.registry.evict(name)
+        self.cache.invalidate_model(name)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _check_row(self, entry: ModelEntry, x: np.ndarray) -> np.ndarray:
+        # Always a private copy: submission is asynchronous, so a queued
+        # row must not alias a caller buffer that may be reused before the
+        # batch executes.
+        row = np.array(x, dtype=np.float64)
+        if row.ndim != 1 or row.shape[0] != entry.in_features:
+            raise ConfigurationError(
+                f"model {entry.name!r} expects a flat ({entry.in_features},) "
+                f"input row, got shape {row.shape}"
+            )
+        return row
+
+    def _coalesce_pending(self, key: tuple, ticket: PredictionTicket) -> PredictionTicket | None:
+        """Return an in-flight ticket for ``key``, or register ``ticket``.
+
+        With the cache enabled, the service promises that identical
+        requests return identical rows between reloads; for *concurrent*
+        identical requests the cache alone cannot keep that promise (both
+        would miss and land in a batch as separate rows with different MC
+        sample positions).  Coalescing onto the first pending ticket
+        closes that window.  Counted as a cache hit in the metrics; the
+        latency sample is recorded once, for the primary.
+        """
+        with self._pending_lock:
+            existing = self._pending.get(key)
+            if existing is not None and not existing.done():
+                return existing
+            self._pending[key] = ticket
+            if len(self._pending) > 2 * self.config.queue_capacity:
+                for done_key in [k for k, t in self._pending.items() if t.done()]:
+                    del self._pending[done_key]
+        return None
+
+    def submit(self, model: str, x: np.ndarray) -> PredictionTicket:
+        """Enqueue one prediction request; returns a resolvable ticket.
+
+        Raises :class:`~repro.errors.UnknownModelError` for unregistered
+        models, :class:`~repro.errors.ConfigurationError` for shape
+        mismatches, and :class:`~repro.errors.ServiceOverloaded` when the
+        bounded queue is full (recorded in the metrics).  On a
+        cache-enabled service, a request identical to one already in
+        flight returns the in-flight ticket instead of queueing a
+        duplicate row.
+        """
+        if self._closed:
+            raise ConfigurationError("service is closed")
+        entry = self.registry.get(model)
+        row = self._check_row(entry, x)
+        ticket = PredictionTicket(model)
+        key: tuple | None = None
+        if self.cache.capacity > 0:
+            # Digesting the row and consulting the cache only matter on a
+            # cache-enabled service; a disabled cache skips the whole path
+            # (no per-request hashing, no misleading 0% hit-rate stream).
+            key = PredictionCache.key(entry.name, entry.version, entry.n_samples, row)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.record_cache(True)
+                ticket.set_result(cached)
+                self.metrics.record_latency(ticket.latency())
+                return ticket
+            in_flight = self._coalesce_pending(key, ticket)
+            if in_flight is not None:
+                self.metrics.record_cache(True)
+                return in_flight
+            # We are now the pending primary — but a previous primary may
+            # have completed (cache.put happens before its ticket resolves)
+            # between the cache lookup above and the registration.  Re-read
+            # the cache so a just-computed row is reused instead of being
+            # recomputed and overwritten by a different MC draw.
+            fresh = self.cache.peek(key)
+            if fresh is not None:
+                with self._pending_lock:
+                    if self._pending.get(key) is ticket:
+                        del self._pending[key]
+                self.metrics.record_cache(True)
+                ticket.set_result(fresh)
+                self.metrics.record_latency(ticket.latency())
+                return ticket
+            self.metrics.record_cache(False)
+        try:
+            depth = self.batcher.submit(row, ticket)
+        except Exception as error:
+            # Fail the ticket too: a concurrent identical request may
+            # already have coalesced onto it, and that caller must see the
+            # rejection rather than block until its result() timeout.
+            if key is not None:
+                with self._pending_lock:
+                    if self._pending.get(key) is ticket:
+                        del self._pending[key]
+            ticket.set_exception(error)
+            if isinstance(error, ServiceOverloaded):
+                self.metrics.record_overload()
+            raise
+        self.metrics.record_queue_depth(depth)
+        if self._sync_worker is not None:
+            while self.batcher.full_batch_ready():
+                self._drain_one()
+        return ticket
+
+    def _drain_one(self) -> bool:
+        assert self._sync_worker is not None
+        batch = self.batcher.drain_tick()
+        if batch is None:
+            return False
+        self._sync_worker.execute(batch)
+        return True
+
+    def flush(self) -> None:
+        """Synchronous mode: run queued batches on the caller's thread.
+
+        A no-op when the queue is empty or when a worker pool owns the
+        drain (threaded mode).
+        """
+        if self._sync_worker is None:
+            return
+        while self._drain_one():
+            pass
+
+    def predict_many(
+        self,
+        model: str,
+        x: np.ndarray,
+        *,
+        timeout: float = DEFAULT_RESULT_TIMEOUT_S,
+    ) -> np.ndarray:
+        """Submit every row of ``x`` and return stacked probability rows.
+
+        The convenience bulk path: in synchronous mode this is exactly the
+        micro-batched fast path (full batches dispatch during submission,
+        the remainder on the final flush); in threaded mode it is a
+        closed-loop client of the worker pool.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ConfigurationError(
+                f"predict_many expects a (batch, features) array, got {x.shape}"
+            )
+        tickets = []
+        for row in x:
+            # A bulk caller is closed-loop by definition: on backpressure
+            # it waits for the service to drain instead of dropping, so
+            # inputs larger than queue_capacity still complete.
+            while True:
+                try:
+                    tickets.append(self.submit(model, row))
+                    break
+                except ServiceOverloaded:
+                    self.flush()  # sync mode: drain on this thread
+                    time.sleep(0.001)  # threaded mode: let workers drain
+        self.flush()
+        return np.stack([ticket.result(timeout) for ticket in tickets])
+
+    def predict_proba(
+        self, model: str, x: np.ndarray, *, timeout: float = DEFAULT_RESULT_TIMEOUT_S
+    ) -> np.ndarray:
+        """Single-request convenience wrapper returning one probability row."""
+        ticket = self.submit(model, x)
+        self.flush()
+        return ticket.result(timeout)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Metrics snapshot plus live queue/cache/registry gauges."""
+        snap = self.metrics.snapshot()
+        snap["queue_pending"] = self.batcher.pending()
+        snap["cache_entries"] = len(self.cache)
+        snap["models"] = self.registry.names()
+        return snap
+
+    def close(self) -> None:
+        """Stop accepting work and shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.stop()
+        else:
+            self.flush()
+            self.batcher.close()
+
+    def __enter__(self) -> "BnnService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,132 @@
+"""Worker pool: threads that turn queued batches into batched MC calls.
+
+Each :class:`ServingWorker` owns a private predictor per model — built by
+:meth:`~repro.serving.registry.ModelEntry.build_predictor` with the
+worker's decorrelated GRNG stream (see
+:func:`~repro.serving.registry.worker_stream_seed`) — so concurrent
+workers never share generator state and every worker's epsilon stream is
+individually reproducible.  Workers rebuild a predictor when the model's
+registry version moves (a reload), which is how new posteriors and fresh
+streams propagate without locks around the hot path.
+
+The heavy lifting inside a batch is pure NumPy/BLAS, which releases the
+GIL for the GEMMs, so a small pool genuinely overlaps compute with
+queueing; the pool size is a throughput/latency knob, not a parallel-Python
+workaround.  ``ServingWorker`` is also usable unstarted: the synchronous
+service mode constructs worker 0 and calls :meth:`ServingWorker.execute`
+on the caller's thread, so both modes run the identical execution path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.batcher import Batch, MicroBatcher
+from repro.serving.cache import PredictionCache
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.registry import ModelRegistry
+from repro.utils.validation import check_positive
+
+#: How long an idle worker blocks on the queue before re-checking shutdown.
+_IDLE_POLL_S = 0.05
+
+
+class ServingWorker(threading.Thread):
+    """One serving thread (or the synchronous mode's inline executor)."""
+
+    def __init__(
+        self,
+        index: int,
+        registry: ModelRegistry,
+        batcher: MicroBatcher,
+        cache: PredictionCache,
+        metrics: ServiceMetrics,
+    ) -> None:
+        super().__init__(name=f"bnn-serving-worker-{index}", daemon=True)
+        self.index = index
+        self.registry = registry
+        self.batcher = batcher
+        self.cache = cache
+        self.metrics = metrics
+        # Per-worker predictor cache: model name -> (version, predictor).
+        self._predictors: dict[str, tuple[int, object]] = {}
+
+    # ------------------------------------------------------------------
+    def _predictor_for(self, entry) -> object:
+        cached = self._predictors.get(entry.name)
+        if cached is not None and cached[0] == entry.version:
+            return cached[1]
+        predictor = entry.build_predictor(self.index)
+        self._predictors[entry.name] = (entry.version, predictor)
+        return predictor
+
+    def execute(self, batch: Batch) -> None:
+        """Run one coalesced batch and resolve every ticket in it.
+
+        Any failure (unknown model after an eviction race, a bad row that
+        slipped validation, ...) is delivered to the batch's tickets rather
+        than killing the worker.
+        """
+        if len(batch) == 0:
+            return
+        try:
+            entry = self.registry.get(batch.model)
+            predictor = self._predictor_for(entry)
+            probs = predictor.predict_proba_batched(batch.stack())
+        except Exception as error:  # noqa: BLE001 - fault barrier per batch
+            for ticket in batch.tickets:
+                ticket.set_exception(error)
+            self.metrics.record_batch(len(batch))
+            for _ in batch.tickets:
+                self.metrics.record_failure()
+            return
+        self.metrics.record_batch(len(batch))
+        for row_index, ticket in enumerate(batch.tickets):
+            row = probs[row_index]
+            if self.cache.capacity:  # skip the per-row digest when disabled
+                self.cache.put(
+                    PredictionCache.key(
+                        entry.name, entry.version, entry.n_samples, batch.rows[row_index]
+                    ),
+                    row,
+                )
+            ticket.set_result(row)
+            self.metrics.record_latency(ticket.latency())
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:  # pragma: no cover - exercised via WorkerPool tests
+        while True:
+            batch = self.batcher.next_batch(timeout=_IDLE_POLL_S)
+            if batch is not None:
+                self.execute(batch)
+            elif self.batcher.closed:
+                return
+
+
+class WorkerPool:
+    """Owns ``workers`` serving threads over one shared batcher."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batcher: MicroBatcher,
+        cache: PredictionCache,
+        metrics: ServiceMetrics,
+        workers: int = 2,
+    ) -> None:
+        check_positive("workers", workers)
+        self.batcher = batcher
+        self.workers = [
+            ServingWorker(index, registry, batcher, cache, metrics)
+            for index in range(workers)
+        ]
+        for worker in self.workers:
+            worker.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Close the queue, let workers drain it, and join them."""
+        # close() refuses new submissions but leaves queued batches
+        # poppable, so in-flight tickets still resolve before the join.
+        self.batcher.close()
+        for worker in self.workers:
+            worker.join(timeout)

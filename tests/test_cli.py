@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
 
 
@@ -33,3 +34,106 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class _FakeExperiment:
+    """Stand-in experiment for run-all robustness tests."""
+
+    def __init__(self, fail: bool) -> None:
+        self.fail = fail
+
+    def run(self):
+        if self.fail:
+            raise ValueError("synthetic experiment failure")
+        return {}
+
+    def render(self, _result) -> str:
+        return "fake table\n"
+
+
+class TestRunAllRobustness:
+    @pytest.fixture()
+    def fake_registry(self, monkeypatch):
+        experiments = {
+            "aaa-ok": _FakeExperiment(fail=False),
+            "bbb-bad": _FakeExperiment(fail=True),
+            "ccc-ok": _FakeExperiment(fail=False),
+        }
+        monkeypatch.setattr(cli, "EXPERIMENTS", experiments)
+        monkeypatch.setattr(cli, "get_experiment", experiments.__getitem__)
+        return experiments
+
+    def test_continues_past_failure_and_exits_nonzero(self, fake_registry, capsys):
+        assert main(["run-all"]) == 1
+        out = capsys.readouterr().out
+        # The experiment after the failing one still ran...
+        assert out.index("### bbb-bad FAILED") < out.index("### ccc-ok")
+        assert out.count("fake table") == 2
+        # ...and the summary names the failure.
+        assert "ran 3 experiments, 1 failed" in out
+        assert "bbb-bad: ValueError: synthetic experiment failure" in out
+
+    def test_all_green_exits_zero(self, fake_registry, capsys):
+        fake_registry["bbb-bad"].fail = False
+        assert main(["run-all"]) == 0
+        assert "3 experiments, 0 failed" in capsys.readouterr().out
+
+    def test_failure_still_writes_other_outputs(self, fake_registry, tmp_path):
+        assert main(["run-all", "--out", str(tmp_path)]) == 1
+        assert (tmp_path / "aaa-ok.txt").exists()
+        assert (tmp_path / "ccc-ok.txt").exists()
+        assert not (tmp_path / "bbb-bad.txt").exists()
+
+
+class TestGrngSeedReproducibility:
+    def test_seed_is_echoed(self, capsys):
+        assert main(["grng", "numpy", "--samples", "500", "--seed", "42"]) == 0
+        assert "seed      : 42" in capsys.readouterr().out
+
+    def test_same_seed_reproduces_the_report(self, capsys):
+        main(["grng", "numpy", "--samples", "500", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["grng", "numpy", "--samples", "500", "--seed", "7"])
+        assert capsys.readouterr().out == first
+
+    def test_different_seed_changes_the_metrics(self, capsys):
+        main(["grng", "numpy", "--samples", "500", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["grng", "numpy", "--samples", "500", "--seed", "8"])
+        assert capsys.readouterr().out != first
+
+
+_QUICK_SERVING_ARGS = [
+    "--epochs", "0",
+    "--train-images", "1",
+    "--images", "8",
+    "--hidden", "8",
+    "--n-samples", "3",
+    "--max-batch", "8",
+]
+
+
+class TestServingVerbs:
+    def test_serve_demo(self, capsys):
+        assert main(
+            ["serve-demo", "--requests", "16", "--workers", "0", *_QUICK_SERVING_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "batch histogram" in out
+        assert "serving 'digits'" in out
+
+    def test_loadtest_closed(self, capsys):
+        assert main(
+            ["loadtest", "--pattern", "closed", "--requests", "16", "--workers", "0",
+             *_QUICK_SERVING_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop" in out and "req/s" in out
+
+    def test_loadtest_open(self, capsys):
+        assert main(
+            ["loadtest", "--pattern", "open", "--rate", "300", "--duration", "0.2",
+             "--workers", "1", *_QUICK_SERVING_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "open-loop" in out and "latency" in out

@@ -1,0 +1,131 @@
+"""Tests for the prediction cache and the service metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.cache import PredictionCache, input_digest
+from repro.serving.metrics import ServiceMetrics
+
+
+class TestInputDigest:
+    def test_depends_on_values(self):
+        assert input_digest(np.zeros(4)) != input_digest(np.ones(4))
+        assert input_digest(np.arange(4.0)) == input_digest(np.arange(4.0))
+
+    def test_layout_independent(self):
+        strided = np.arange(8.0)[::2]
+        assert input_digest(strided) == input_digest(strided.copy())
+
+
+class TestPredictionCache:
+    def test_miss_then_hit(self):
+        cache = PredictionCache(capacity=4)
+        key = PredictionCache.key("m", 1, 10, np.zeros(3))
+        assert cache.get(key) is None
+        cache.put(key, np.array([0.5, 0.5]))
+        assert np.array_equal(cache.get(key), [0.5, 0.5])
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_returns_defensive_copies(self):
+        cache = PredictionCache(capacity=4)
+        key = PredictionCache.key("m", 1, 10, np.zeros(3))
+        cache.put(key, np.array([0.5, 0.5]))
+        cache.get(key)[0] = 99.0
+        assert np.array_equal(cache.get(key), [0.5, 0.5])
+
+    def test_version_changes_key(self):
+        row = np.zeros(3)
+        assert PredictionCache.key("m", 1, 10, row) != PredictionCache.key("m", 2, 10, row)
+        assert PredictionCache.key("m", 1, 10, row) != PredictionCache.key("m", 1, 20, row)
+
+    def test_lru_eviction(self):
+        cache = PredictionCache(capacity=2)
+        keys = [PredictionCache.key("m", 1, 10, np.full(3, v)) for v in range(3)]
+        cache.put(keys[0], np.zeros(2))
+        cache.put(keys[1], np.zeros(2))
+        cache.get(keys[0])  # refresh 0; 1 becomes LRU
+        cache.put(keys[2], np.zeros(2))
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+
+    def test_invalidate_model(self):
+        cache = PredictionCache(capacity=8)
+        for model in ("a", "b"):
+            cache.put(PredictionCache.key(model, 1, 10, np.zeros(3)), np.zeros(2))
+        assert cache.invalidate_model("a") == 1
+        assert len(cache) == 1
+        assert cache.get(PredictionCache.key("b", 1, 10, np.zeros(3))) is not None
+
+    def test_capacity_zero_disables(self):
+        cache = PredictionCache(capacity=0)
+        key = PredictionCache.key("m", 1, 10, np.zeros(3))
+        cache.put(key, np.zeros(2))
+        assert cache.get(key) is None and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictionCache(capacity=-1)
+
+
+class TestServiceMetrics:
+    def test_latency_percentiles(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):
+            metrics.record_latency(value / 1000.0)
+        latency = metrics.latency_percentiles()
+        assert latency["p50"] == pytest.approx(0.0505, abs=1e-4)
+        assert latency["p99"] <= 0.1
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_empty_percentiles_are_zero(self):
+        assert ServiceMetrics().latency_percentiles() == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_latency_window_is_a_ring(self):
+        metrics = ServiceMetrics(latency_window=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 5.0, 5.0, 5.0, 5.0):
+            metrics.record_latency(value)
+        assert metrics.latency_percentiles()["p50"] == 5.0
+        assert metrics.requests_served == 8
+
+    def test_batch_histogram_and_mean(self):
+        metrics = ServiceMetrics()
+        for size in (1, 64, 64, 7):
+            metrics.record_batch(size)
+        assert metrics.batch_histogram() == {1: 1, 7: 1, 64: 2}
+        assert metrics.mean_batch_size() == pytest.approx(34.0)
+
+    def test_queue_depth_tracks_maximum(self):
+        metrics = ServiceMetrics()
+        for depth in (3, 9, 2):
+            metrics.record_queue_depth(depth)
+        assert metrics.max_queue_depth == 9
+        assert metrics.last_queue_depth == 2
+
+    def test_cache_and_overload_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache(True)
+        metrics.record_cache(False)
+        metrics.record_cache(False)
+        metrics.record_overload()
+        assert metrics.cache_hit_rate() == pytest.approx(1 / 3)
+        snap = metrics.snapshot()
+        assert snap["overloads"] == 1
+        assert snap["cache_hits"] == 1 and snap["cache_misses"] == 2
+
+    def test_render_mentions_every_section(self):
+        metrics = ServiceMetrics()
+        metrics.record_latency(0.01)
+        metrics.record_batch(4)
+        text = metrics.render()
+        for fragment in ("requests served", "batch histogram", "latency", "cache", "queue depth"):
+            assert fragment in text
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceMetrics(latency_window=0)

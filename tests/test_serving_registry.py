@@ -1,0 +1,140 @@
+"""Tests for the serving model registry and posterior reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.serialization import save_posterior
+from repro.errors import ConfigurationError, UnknownModelError
+from repro.serving.registry import (
+    ModelRegistry,
+    network_from_posterior,
+    worker_stream_seed,
+)
+
+
+@pytest.fixture()
+def network():
+    return BayesianNetwork((6, 5, 3), seed=0, initial_sigma=0.04)
+
+
+@pytest.fixture()
+def posterior(network):
+    return network.posterior_parameters()
+
+
+class TestNetworkFromPosterior:
+    def test_roundtrips_mu_and_sigma(self, network, posterior):
+        rebuilt = network_from_posterior(posterior)
+        assert rebuilt.layer_sizes == network.layer_sizes
+        for rebuilt_layer, original in zip(rebuilt.layers, posterior):
+            assert np.array_equal(rebuilt_layer.mu_weights, original["mu_weights"])
+            assert np.array_equal(rebuilt_layer.mu_bias, original["mu_bias"])
+            assert np.allclose(rebuilt_layer.sigma_weights(), original["sigma_weights"])
+            assert np.allclose(rebuilt_layer.sigma_bias(), original["sigma_bias"])
+
+    def test_empty_posterior_rejected(self):
+        with pytest.raises(ConfigurationError):
+            network_from_posterior([])
+
+
+class TestWorkerStreamSeed:
+    def test_decorrelates_workers_versions_and_seeds(self):
+        seeds = {
+            worker_stream_seed(0, 1, 0),
+            worker_stream_seed(0, 1, 1),
+            worker_stream_seed(0, 2, 0),
+            worker_stream_seed(1, 1, 0),
+        }
+        assert len(seeds) == 4
+
+    def test_deterministic(self):
+        assert worker_stream_seed(7, 3, 2) == worker_stream_seed(7, 3, 2)
+
+
+class TestModelRegistry:
+    def test_register_and_get(self, network):
+        registry = ModelRegistry()
+        entry = registry.register_network("digits", network, n_samples=4)
+        assert registry.get("digits") is entry
+        assert entry.version == 1
+        assert entry.in_features == 6 and entry.out_features == 3
+        assert registry.names() == ["digits"]
+
+    def test_unknown_model(self):
+        registry = ModelRegistry()
+        with pytest.raises(UnknownModelError, match="not registered"):
+            registry.get("nope")
+        with pytest.raises(UnknownModelError):
+            registry.evict("nope")
+
+    def test_build_predictor_serves(self, network):
+        registry = ModelRegistry()
+        entry = registry.register_network("digits", network, n_samples=3)
+        predictor = entry.build_predictor(0)
+        probs = predictor.predict_proba_batched(np.zeros((2, 6)))
+        assert probs.shape == (2, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_register_file_and_reload(self, tmp_path, network, posterior):
+        path = tmp_path / "model.npz"
+        save_posterior(path, posterior)
+        registry = ModelRegistry()
+        entry = registry.register_file("digits", path, n_samples=4, seed=9)
+        assert entry.version == 1 and entry.source_path == str(path)
+
+        # A new posterior lands in the same file; reload must pick it up
+        # and bump the version.
+        retrained = BayesianNetwork((6, 5, 3), seed=5).posterior_parameters()
+        save_posterior(path, retrained)
+        reloaded = registry.reload("digits")
+        assert reloaded.version == 2
+        assert reloaded.n_samples == 4 and reloaded.seed == 9
+        assert np.array_equal(
+            reloaded.network.layers[0].mu_weights, retrained[0]["mu_weights"]
+        )
+
+    def test_reload_requires_file_backing(self, network):
+        registry = ModelRegistry()
+        registry.register_network("digits", network)
+        with pytest.raises(ConfigurationError, match="file-backed"):
+            registry.reload("digits")
+
+    def test_reregistering_continues_versions(self, network):
+        registry = ModelRegistry()
+        registry.register_network("digits", network)
+        entry = registry.register_network("digits", network)
+        assert entry.version == 2
+
+    def test_version_survives_evict_and_reregister(self, network):
+        """(name, version) must never identify two different posteriors."""
+        registry = ModelRegistry()
+        registry.register_network("digits", network)
+        registry.evict("digits")
+        entry = registry.register_network("digits", network)
+        assert entry.version == 2
+
+    def test_version_survives_lru_eviction(self, network):
+        registry = ModelRegistry(max_models=1)
+        registry.register_network("a", network)
+        registry.register_network("b", network)  # LRU-evicts a
+        entry = registry.register_network("a", network)
+        assert entry.version == 2
+
+    def test_evict(self, network):
+        registry = ModelRegistry()
+        registry.register_network("digits", network)
+        registry.evict("digits")
+        assert len(registry) == 0
+        with pytest.raises(UnknownModelError):
+            registry.get("digits")
+
+    def test_lru_eviction_at_capacity(self, network):
+        registry = ModelRegistry(max_models=2)
+        registry.register_network("a", network)
+        registry.register_network("b", network)
+        registry.get("a")  # refresh a; b becomes least recently used
+        registry.register_network("c", network)
+        assert sorted(registry.names()) == ["a", "c"]
+        with pytest.raises(UnknownModelError):
+            registry.get("b")
