@@ -38,6 +38,22 @@ Epsilon sources
   (range +-4 covers the Gaussian support that matters).
 * ``None``: a NumPy stream (the "ideal sampler, quantized datapath"
   ablation used by the bit-length study).
+
+The integer-vs-float dispatch lives in :class:`EpsilonSource`, shared with
+the cycle model's :class:`~repro.hw.weight_generator.WeightGenerator`: the
+capability is probed once at construction (``generate_codes(0)``), and a
+per-draw failure in a code datapath *raises* — it never silently reroutes
+the run onto the float-quantized path with different numerics.
+
+Execution paths
+---------------
+:meth:`QuantizedBayesianNetwork.predict_proba` runs all ``n_samples``
+stochastic passes as one stacked int64 tensor computation fed by a single
+epsilon block per pass set (:meth:`QuantizedBayesianNetwork.forward_stacked_codes`);
+:meth:`QuantizedBayesianNetwork.predict_proba_loop` keeps the per-pass
+reference loop, and the equivalence tests hold the two bit-for-bit equal
+for every registered generator behind a
+:class:`~repro.grng.stream.GrngStream`.
 """
 
 from __future__ import annotations
@@ -77,6 +93,92 @@ def epsilon_format(bit_length: int) -> QFormat:
     """``Q2.(B-3)``: the format float epsilons are quantized into."""
     frac = max(1, bit_length - 1 - EPSILON_INTEGER_BITS)
     return QFormat(integer_bits=EPSILON_INTEGER_BITS, frac_bits=frac)
+
+
+class EpsilonSource:
+    """Capability-probed epsilon dispatch for the fixed-point datapaths.
+
+    The one place that decides whether a GRNG feeds the weight updater
+    through its native integer codes (RLF-style: centred popcounts
+    standardised by the :data:`RLF_SIGMA_SHIFT` right shift) or through
+    float samples quantized into the ``Q2.(B-3)`` epsilon format.  Both
+    :class:`QuantizedBayesianNetwork` and
+    :class:`repro.hw.weight_generator.WeightGenerator` route every epsilon
+    draw through this class so the dispatch can never diverge between the
+    functional model and the cycle model.
+
+    The capability is probed **once at construction** with a free
+    ``generate_codes(0)`` call (the count contract makes a zero draw
+    side-effect free; generators without an integer datapath raise for any
+    count).  Per-draw calls are *not* wrapped in ``try/except``: a
+    code-capable generator whose ``generate_codes`` fails mid-run — a
+    count-validation bug, an injected fault, a port-budget violation —
+    surfaces the error instead of silently rerouting the run onto the
+    float-quantized path with different numerics.
+
+    Parameters
+    ----------
+    grng:
+        The epsilon source; ``None`` selects the NumPy fallback stream
+        (``rng`` must then be supplied).
+    bit_length:
+        Operand width ``B``; fixes the quantized-epsilon format.
+    rng:
+        Fallback ``numpy.random.Generator`` used when ``grng is None``
+        (the "ideal sampler, quantized datapath" ablation).
+    """
+
+    def __init__(
+        self,
+        grng: Grng | None,
+        bit_length: int,
+        *,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        if grng is None and rng is None:
+            raise ConfigurationError(
+                "EpsilonSource needs a grng or a fallback rng"
+            )
+        self.grng = grng
+        self.eps_fmt = epsilon_format(bit_length)
+        self._rng = rng
+        if grng is None:
+            self.uses_codes = False
+        else:
+            try:
+                grng.generate_codes(0)
+            except ConfigurationError:
+                self.uses_codes = False
+            else:
+                self.uses_codes = True
+        #: Fractional bits implied by the emitted codes — fixed for the
+        #: lifetime of the source, like the hardware's wiring.
+        self.frac_bits = (
+            RLF_SIGMA_SHIFT if self.uses_codes else self.eps_fmt.frac_bits
+        )
+
+    def draw(self, count: int) -> np.ndarray:
+        """``count`` epsilon codes carrying :attr:`frac_bits` fractional bits."""
+        if self.uses_codes:
+            return self.grng.generate_codes(count) - RLF_CODE_OFFSET
+        if self.grng is not None:
+            return self.eps_fmt.quantize(self.grng.generate(count))
+        return self.eps_fmt.quantize(self._rng.standard_normal(count))
+
+    def draw_block(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A block of epsilon codes — the same stream :meth:`draw` serves.
+
+        Rides the code-block seam (:meth:`~repro.grng.base.Grng.generate_codes_block`
+        / :meth:`~repro.grng.base.Grng.generate_block`), so a block equals
+        the concatenation of smaller draws for any call-pattern-invariant
+        generator (every generator behind a
+        :class:`~repro.grng.stream.GrngStream`).
+        """
+        if self.uses_codes:
+            return self.grng.generate_codes_block(shape) - RLF_CODE_OFFSET
+        if self.grng is not None:
+            return self.eps_fmt.quantize(self.grng.generate_block(shape))
+        return self.eps_fmt.quantize(self._rng.standard_normal(shape))
 
 
 class QuantizedBayesianNetwork:
@@ -133,22 +235,17 @@ class QuantizedBayesianNetwork:
             [self.layers[0]["mu_w"].shape[0]]
             + [layer["mu_w"].shape[1] for layer in self.layers]
         )
+        #: Epsilon codes consumed per stochastic forward pass.
+        self.eps_per_pass = sum(
+            layer["mu_w"].size + layer["mu_b_acc"].size for layer in self.layers
+        )
+        # Shared capability-probed dispatch: probes generate_codes(0) once
+        # here; per-draw failures propagate (no silent float fallback).
+        self._eps = EpsilonSource(grng, bit_length, rng=self._rng)
 
     # ------------------------------------------------------------------
-    # Epsilon handling
+    # Epsilon handling / weight updater (eq. 2)
     # ------------------------------------------------------------------
-    def _eps_codes(self, count: int) -> tuple[np.ndarray, int]:
-        """Draw ``count`` epsilon codes and their fractional bit count."""
-        if self.grng is not None:
-            try:
-                codes = self.grng.generate_codes(count)
-            except ConfigurationError:
-                floats = self.grng.generate(count)
-                return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
-            return codes - RLF_CODE_OFFSET, RLF_SIGMA_SHIFT
-        floats = self._rng.standard_normal(count)
-        return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
-
     def _sample_layer_weights(self, layer: dict) -> tuple[np.ndarray, np.ndarray]:
         """Weight updater: ``w = mu + sigma * eps`` in fixed point.
 
@@ -157,7 +254,8 @@ class QuantizedBayesianNetwork:
         """
         w_size = layer["mu_w"].size
         b_size = layer["mu_b_acc"].size
-        eps, eps_frac = self._eps_codes(w_size + b_size)
+        eps = self._eps.draw(w_size + b_size)
+        eps_frac = self._eps.frac_bits
         eps_w = eps[:w_size].reshape(layer["mu_w"].shape)
         eps_b = eps[w_size:]
         prod_w = layer["sigma_w"].astype(np.int64) * eps_w.astype(np.int64)
@@ -176,6 +274,42 @@ class QuantizedBayesianNetwork:
             delta_b = prod_b >> (-shift)
         b = layer["mu_b_acc"] + delta_b
         return w, b
+
+    def _stacked_layer_weights(
+        self, eps_block: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Apply the eq.-(2) updater to all passes' epsilons at once.
+
+        ``eps_block`` has shape ``(n_samples, eps_per_pass)`` with row
+        ``s`` holding pass ``s``'s epsilons in forward order (layer by
+        layer, weights before biases) — the exact order the per-pass loop
+        consumes the stream, so a call-pattern-invariant generator gives
+        both paths identical epsilons.  Returns per-layer
+        ``(w, b)`` stacks of shapes ``(S, in, out)`` and ``(S, out)``.
+        """
+        n_samples = eps_block.shape[0]
+        eps_frac = self._eps.frac_bits
+        shift = self.acc_frac_bits - (self.weight_fmt.frac_bits + eps_frac)
+        sampled = []
+        cursor = 0
+        for layer in self.layers:
+            w_size = layer["mu_w"].size
+            b_size = layer["mu_b_acc"].size
+            eps_w = eps_block[:, cursor : cursor + w_size].reshape(
+                (n_samples,) + layer["mu_w"].shape
+            )
+            cursor += w_size
+            eps_b = eps_block[:, cursor : cursor + b_size]
+            cursor += b_size
+            prod_w = layer["sigma_w"].astype(np.int64)[None] * eps_w.astype(np.int64)
+            delta_w = requantize(
+                prod_w, self.weight_fmt.frac_bits + eps_frac, self.weight_fmt
+            )
+            w = saturate(layer["mu_w"][None] + delta_w, self.weight_fmt)
+            prod_b = layer["sigma_b"].astype(np.int64)[None] * eps_b.astype(np.int64)
+            delta_b = prod_b << shift if shift >= 0 else prod_b >> (-shift)
+            sampled.append((w, layer["mu_b_acc"][None] + delta_b))
+        return sampled
 
     # ------------------------------------------------------------------
     # Forward passes
@@ -199,8 +333,84 @@ class QuantizedBayesianNetwork:
                 return acc
         raise ConfigurationError("no layers")  # pragma: no cover
 
+    def forward_stacked_codes(self, x_codes: np.ndarray, n_samples: int) -> np.ndarray:
+        """All ``n_samples`` stochastic passes as one stacked int64 computation.
+
+        Draws every pass's epsilons as a single ``(n_samples,
+        eps_per_pass)`` block through the code-block seam, applies the
+        eq.-(2) updater to the whole stack, and runs the MAC tree with a
+        leading sample axis.  Bit-for-bit equal to ``n_samples``
+        sequential :meth:`forward_sample_codes` calls whenever the epsilon
+        stream is call-pattern invariant (any generator behind a
+        :class:`~repro.grng.stream.GrngStream`; the NumPy fallback): every
+        arithmetic step is the same exact integer operation, only batched.
+
+        Returns logits codes of shape ``(n_samples, batch, out)``.
+        """
+        if x_codes.ndim != 2 or x_codes.shape[1] != self.layer_sizes[0]:
+            raise ConfigurationError(
+                f"expected codes of shape (batch, {self.layer_sizes[0]}), got {x_codes.shape}"
+            )
+        eps_block = self._eps.draw_block((n_samples, self.eps_per_pass))
+        sampled = self._stacked_layer_weights(eps_block)
+        batch = x_codes.shape[0]
+        x64 = x_codes.astype(np.int64)
+        hidden: np.ndarray | None = None  # None means "x shared across samples"
+        last = len(sampled) - 1
+        for index, (w, b) in enumerate(sampled):
+            in_features, out_features = w.shape[1], w.shape[2]
+            wide = np.empty((n_samples, batch, out_features), dtype=np.int64)
+            # The MAC accumulates |codes| <= 2**(B-1) products of two
+            # B-bit operands; when the exact sum provably fits a float64
+            # mantissa the per-sample GEMMs run through BLAS on float64
+            # views and cast back — same integers, ~an order of magnitude
+            # faster than NumPy's int64 matmul.  Wider datapaths fall
+            # back to the exact int64 matmul.
+            blas_exact = (
+                in_features * (1 << (self.bit_length - 1)) ** 2 < 2**53
+            )
+            if blas_exact:
+                w_op = w.astype(np.float64)
+                source_op = (
+                    x64.astype(np.float64) if hidden is None
+                    else hidden.astype(np.float64)
+                )
+            else:
+                w_op = w
+                source_op = x64 if hidden is None else hidden
+            for sample in range(n_samples):
+                source = source_op if hidden is None else source_op[sample]
+                product = source @ w_op[sample]
+                if blas_exact:
+                    product = product.astype(np.int64)
+                wide[sample] = product + b[sample, None, :]
+            acc = requantize(wide, self.acc_frac_bits, self.act_fmt)
+            if index < last:
+                hidden = np.maximum(acc, 0)  # ReLU on codes
+            else:
+                return acc
+        raise ConfigurationError("no layers")  # pragma: no cover
+
     def predict_proba(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
-        """MC-averaged probabilities from the fixed-point datapath."""
+        """MC-averaged probabilities from the fixed-point datapath.
+
+        Default execution is the stacked path
+        (:meth:`forward_stacked_codes`); :meth:`predict_proba_loop` keeps
+        the per-pass reference semantics and the equivalence tests hold
+        the two bit-for-bit equal.
+        """
+        check_positive("n_samples", n_samples)
+        x_codes = self.act_fmt.quantize(np.asarray(x, dtype=np.float64))
+        logits_codes = self.forward_stacked_codes(x_codes, n_samples)
+        total = np.zeros((x_codes.shape[0], self.layer_sizes[-1]))
+        # Accumulate sample by sample: bit-identical to the reference
+        # loop's sequential float accumulation.
+        for sample in range(n_samples):
+            total += softmax(self.act_fmt.dequantize(logits_codes[sample]))
+        return total / n_samples
+
+    def predict_proba_loop(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """Reference loop: one :meth:`forward_sample_codes` per MC pass."""
         check_positive("n_samples", n_samples)
         x_codes = self.act_fmt.quantize(np.asarray(x, dtype=np.float64))
         total = np.zeros((x_codes.shape[0], self.layer_sizes[-1]))

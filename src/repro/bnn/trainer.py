@@ -33,6 +33,11 @@ class TrainingHistory:
 
     def final_test_accuracy(self) -> float:
         if not self.test_accuracy:
+            if self.train_loss:
+                raise TrainingError(
+                    f"{self.epochs} epoch(s) ran without a test set; pass "
+                    "x_test/y_test to Trainer.fit to record test accuracy"
+                )
             raise TrainingError("no epochs recorded")
         return self.test_accuracy[-1]
 
@@ -110,17 +115,21 @@ class Trainer:
                 batches += 1
             history.train_loss.append(epoch_loss / batches)
             history.kl.append(epoch_kl / batches if is_bayesian else 0.0)
+            # Divergence check BEFORE the (expensive) train/test accuracy
+            # evaluation: a non-finite loss means the parameters are
+            # already garbage, so evaluating the diverged epoch would
+            # burn a full train+test MC sweep for nothing.
+            if not np.isfinite(history.train_loss[-1]):
+                raise TrainingError(
+                    f"training diverged at epoch {history.epochs} "
+                    f"(loss={history.train_loss[-1]})"
+                )
             history.train_accuracy.append(
                 self._evaluate(x_train, y_train, eval_samples)
             )
             if x_test is not None and y_test is not None:
                 history.test_accuracy.append(
                     self._evaluate(x_test, y_test, eval_samples)
-                )
-            if not np.isfinite(history.train_loss[-1]):
-                raise TrainingError(
-                    f"training diverged at epoch {history.epochs} "
-                    f"(loss={history.train_loss[-1]})"
                 )
         return history
 

@@ -18,6 +18,17 @@ path (:class:`~repro.grng.rlf.ParallelRlfGrng`,
 :class:`~repro.grng.bnnwallace.BnnWallaceGrng`) override the bulk path
 itself, and :class:`~repro.grng.stream.GrngStream` adds buffering on top.
 
+The integer datapath has the same seam: :meth:`Grng.generate_codes_block`
+and :meth:`Grng.fill_codes` reduce to one bulk :meth:`Grng.generate_codes`
+call, so the fixed-point inference stack (the stacked
+:class:`~repro.bnn.quantized.QuantizedBayesianNetwork` path, the
+accelerator's :class:`~repro.hw.weight_generator.WeightGenerator`) draws
+all its epsilon codes as one block.  On a generator without an integer
+datapath every code method raises
+:class:`~repro.errors.ConfigurationError` — for *any* count, including 0,
+which is what lets consumers probe the capability once with a free
+``generate_codes(0)`` call instead of swallowing errors per draw.
+
 Count contract
 --------------
 ``count`` must be a non-negative integer everywhere.  ``count == 0`` is
@@ -51,7 +62,10 @@ class Grng(ABC):
         """Native integer codes, for generators with a hardware datapath.
 
         Generators without an integer datapath raise
-        :class:`~repro.errors.ConfigurationError`.
+        :class:`~repro.errors.ConfigurationError` for every ``count``
+        (including 0), so ``generate_codes(0)`` is a side-effect-free
+        capability probe: it consumes no stream on a code-capable
+        generator and raises on one without the datapath.
         """
         raise ConfigurationError(
             f"{type(self).__name__} has no integer code datapath"
@@ -87,6 +101,51 @@ class Grng(ABC):
         out[...] = self.generate(out.size).reshape(out.shape)
 
     # ------------------------------------------------------------------
+    # Code-block seam (integer datapath)
+    # ------------------------------------------------------------------
+    def generate_codes_block(self, shape: "int | tuple[int, ...]") -> np.ndarray:
+        """Return a block of integer codes with the given ``shape``.
+
+        The code analogue of :meth:`generate_block`: one contiguous slice
+        of the generator's *code* stream in C order, so
+        ``generate_codes_block((m, n))`` on a fresh generator equals
+        ``generate_codes(m * n).reshape(m, n)`` on an identically seeded
+        one.  Raises :class:`~repro.errors.ConfigurationError` on
+        generators without an integer datapath — for zero-sized shapes
+        too, matching the ``generate_codes(0)`` capability probe.
+        """
+        shape = self._check_shape(shape)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return self.generate_codes(count).reshape(shape)
+
+    def fill_codes(self, out: np.ndarray) -> None:
+        """Fill ``out`` in place with the next ``out.size`` codes.
+
+        Writes the same contiguous code-stream slice that
+        :meth:`generate_codes_block` with ``out.shape`` would return.
+        ``out`` must be a writable signed-integer ndarray.  Like the rest
+        of the code API this raises on generators without an integer
+        datapath even for zero-sized targets.
+        """
+        out = self._check_code_out(out)
+        out[...] = self.generate_codes(out.size).reshape(out.shape)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_code_out(out: np.ndarray) -> np.ndarray:
+        """Require a writable signed-integer ndarray target for code fills."""
+        if not isinstance(out, np.ndarray):
+            raise ConfigurationError(
+                f"fill_codes target must be an ndarray, got {type(out).__name__}"
+            )
+        if not np.issubdtype(out.dtype, np.signedinteger):
+            raise ConfigurationError(
+                f"fill_codes target must have a signed integer dtype, got {out.dtype}"
+            )
+        if not out.flags.writeable:
+            raise ConfigurationError("fill_codes target must be writable")
+        return out
+
     @staticmethod
     def _check_out(out: np.ndarray) -> np.ndarray:
         """Require a writable floating-point ndarray target for in-place fills."""

@@ -20,8 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.grng.base import Grng
-from repro.grng.rlf import standardize_codes
-from repro.rng.lfsr import ShiftHeadLfsr
+from repro.grng.rlf import RlfWindowKernel, standardize_codes
 from repro.rng.parallel_counter import ParallelCounter
 from repro.utils.bitops import bits_to_int
 from repro.utils.seeding import spawn_generator
@@ -33,6 +32,16 @@ class BinomialLfsrGrng(Grng):
     Uses the paper's :class:`~repro.rng.lfsr.ShiftHeadLfsr` structure with
     the 255-entry tap set, stepped twice per emitted sample to mirror the
     double-step RLF (so the two designs are sample-for-sample comparable).
+
+    Block draws run through the same windowed RAM-based kernel as the
+    RLF-GRNG (:class:`~repro.grng.rlf.RlfWindowKernel`): the eq.-(9)
+    shifting update with 1-based tap registers equals the stationary-state
+    head-pointer update ``x(h + t) ^= x(h)`` with the taps as offsets (the
+    equivalence the RLF tests prove bit for bit), and the popcount is
+    shift-invariant, so the vectorised path reproduces the per-step loop
+    exactly while advancing up to ~250 LFSR steps per batch of NumPy
+    calls.  :meth:`state_register` reconstructs the equivalent
+    shifting-register view for tests and inspection.
     """
 
     def __init__(
@@ -52,21 +61,44 @@ class BinomialLfsrGrng(Grng):
         bits = rng.integers(0, 2, size=width, dtype=np.uint8)
         if not bits.any():
             bits[0] = 1
-        state = int(bits_to_int(bits))
-        self._lfsr = ShiftHeadLfsr(width=width, inject_taps=inject_taps, seed=state)
+        taps = tuple(sorted(inject_taps))
+        for tap in taps:
+            if not 1 <= tap < width:
+                raise ConfigurationError(
+                    f"inject tap {tap} must be in 1..{width - 1}"
+                )
+        # Stationary head-pointer representation: bit i of the integer
+        # state (register i + 1) lives at array position (head + i) % width.
+        self._state = bits[:, None].copy()  # (width, 1): one lane
+        self._head = 0
+        self._counts = np.array([int(bits.sum())], dtype=np.int64)
+        self._kernel = RlfWindowKernel(
+            width=width,
+            taps=np.array(taps, dtype=np.int64),
+            parity=np.ones((len(taps), 1), dtype=np.uint8),
+            head_offsets=np.zeros(1, dtype=np.int64),
+            stride=1,
+        )
         self._steps = steps_per_sample
         self.width = width
+        self.inject_taps = taps
         #: Cost of the naive realisation this class models (motivates RLF).
         self.parallel_counter = ParallelCounter(width)
 
+    def state_register(self) -> int:
+        """Current state as the shifting LFSR's integer register view."""
+        rotated = np.roll(self._state[:, 0], -self._head)
+        return int(bits_to_int(rotated))
+
     def generate_codes(self, count: int) -> np.ndarray:
         count = self._check_count(count)
-        out = np.empty(count, dtype=np.int64)
-        for i in range(count):
-            for _ in range(self._steps):
-                self._lfsr.step()
-            out[i] = self._lfsr.popcount()
-        return out
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        block, self._head = self._kernel.advance(
+            self._state, self._counts, self._head, count * self._steps
+        )
+        # One emitted sample per `steps_per_sample` LFSR steps.
+        return block[self._steps - 1 :: self._steps, 0].copy()
 
     def generate(self, count: int) -> np.ndarray:
         return standardize_codes(self.generate_codes(count), self.width)

@@ -66,6 +66,123 @@ RAM_BLOCKS = 3
 RAM_PORTS_PER_BLOCK = 2
 
 
+class RlfWindowKernel:
+    """Vectorised multi-cycle advance for RAM-based linear-feedback state.
+
+    The per-cycle kernel (:meth:`ParallelRlfGrng._advance`) is exact but
+    pays ~10 small NumPy calls per cycle; for block draws the Python loop
+    over cycles dominates.  This kernel advances a *window* of ``W``
+    cycles with O(#taps) NumPy calls total, bit-exactly, by exploiting the
+    structure of the update ``x(h + t) ^= x(h + ho)``:
+
+    * **Heads are stable inside a window.**  A write at cycle ``j'`` lands
+      on a head position of cycle ``j > j'`` only when
+      ``(j - j') * stride = t - ho  (mod width)``; the smallest such
+      ``d = j - j'`` bounds the window (125 for the paper's double-step
+      design), so all ``W`` cycles' head bits can be gathered from the
+      window's initial state up front.
+    * **Writes per tap form a strided slice.**  In window-row coordinates
+      ``u = j * stride + (t - t_min)`` the rows a given tap touches across
+      the window are ``S[t - t_min :: stride]`` — and for a fixed row the
+      taps that hit it fire in *descending tap order* chronologically
+      (larger offset == earlier cycle).  Processing unique taps from the
+      largest down therefore applies every row's XOR events in cycle
+      order, which is what keeps the per-cycle popcount deltas (and hence
+      the emitted codes) exact, not just the final state.
+
+    The window length also respects ``(W - 1) * stride + span + 1 <=
+    width`` so the scatter-back indices are distinct modulo ``width``.
+    Both bounds are computed at construction; ``advance`` tiles longer
+    requests into maximal windows.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        taps: np.ndarray,
+        parity: np.ndarray,
+        head_offsets: np.ndarray,
+        stride: int,
+    ) -> None:
+        self.width = width
+        self.taps = np.asarray(taps, dtype=np.int64)
+        self.parity = np.asarray(parity, dtype=np.uint8)
+        self.head_offsets = np.asarray(head_offsets, dtype=np.int64)
+        self.stride = stride
+        # A write at cycle j' (position head + j'*stride + tap) collides
+        # with a head read at cycle j (position head + j*stride + ho) when
+        # (j - j') * stride = tap - ho (mod width) — for ANY tap/offset
+        # pair, not just the parity-paired ones: every written tap can
+        # alias every head position.
+        diffs = {
+            int(tap - offset) % width
+            for tap in self.taps
+            for offset in self.head_offsets
+        }
+        head_safe = 1
+        while head_safe < width and (head_safe * stride) % width not in diffs:
+            head_safe += 1
+        span = int(self.taps[-1] - self.taps[0])
+        scatter_safe = (width - span - 1) // stride + 1
+        self.window_max = max(1, min(head_safe, scatter_safe))
+
+    def advance(
+        self, state: np.ndarray, counts: np.ndarray, head: int, cycles: int
+    ) -> tuple[np.ndarray, int]:
+        """Advance ``cycles`` cycles; return ``(per-cycle counts, new head)``.
+
+        ``state`` (``(width, lanes)`` 0/1 ``uint8``) and ``counts``
+        (``(lanes,)`` ``int64``) are updated in place; the returned block
+        has shape ``(cycles, lanes)`` with row ``j`` equal to the lane
+        popcounts after cycle ``j`` — exactly the sequence repeated
+        single-cycle advances would produce.
+        """
+        out = np.empty((cycles, state.shape[1]), dtype=np.int64)
+        done = 0
+        while done < cycles:
+            take = min(self.window_max, cycles - done)
+            out[done : done + take] = self._advance_window(state, counts, head, take)
+            head = (head + take * self.stride) % self.width
+            done += take
+        return out, head
+
+    def _advance_window(
+        self, state: np.ndarray, counts: np.ndarray, head: int, window: int
+    ) -> np.ndarray:
+        width, stride = self.width, self.stride
+        lanes = state.shape[1]
+        cycle_index = np.arange(window, dtype=np.int64)
+        # All head bits the window needs, gathered from the initial state
+        # (valid by the window_max bound — no write precedes a read).
+        heads = [
+            state[(head + cycle_index * stride + offset) % width]
+            for offset in self.head_offsets
+        ]
+        tap_min = int(self.taps[0])
+        row_count = (window - 1) * stride + int(self.taps[-1]) - tap_min + 1
+        row_pos = (head + tap_min + np.arange(row_count, dtype=np.int64)) % width
+        rows = state[row_pos]  # private copy: (row_count, lanes)
+        delta = np.zeros((window, lanes), dtype=np.int64)
+        for tap_row in range(len(self.taps) - 1, -1, -1):
+            xor_vec = None
+            for head_column in range(len(self.head_offsets)):
+                if self.parity[tap_row, head_column]:
+                    column = heads[head_column]
+                    xor_vec = column if xor_vec is None else xor_vec ^ column
+            if xor_vec is None:  # pragma: no cover - taps always have parity
+                continue
+            offset = int(self.taps[tap_row]) - tap_min
+            window_slice = slice(offset, offset + (window - 1) * stride + 1, stride)
+            before = rows[window_slice]
+            after = before ^ xor_vec
+            delta += after.astype(np.int64) - before
+            rows[window_slice] = after
+        state[row_pos] = rows
+        block = counts + np.cumsum(delta, axis=0)
+        counts[:] = block[-1]
+        return block
+
+
 def double_step_ops(width: int, inject_taps: tuple[int, ...]) -> tuple[tuple[int, int], ...]:
     """Merge two consecutive eq.-(10) updates into one cycle's operations.
 
@@ -366,6 +483,16 @@ class ParallelRlfGrng(Grng):
         self._cycle_parity = parity
         self._head_offsets = np.arange(head_count, dtype=np.int64)
         self._head_stride = 2 if double_step else 1
+        # Windowed multi-cycle kernel for block draws: advances up to
+        # `window_max` cycles (125 for the paper design) per batch of
+        # NumPy calls instead of ~10 calls per cycle.
+        self._kernel = RlfWindowKernel(
+            width,
+            self._cycle_taps,
+            self._cycle_parity,
+            self._head_offsets,
+            self._head_stride,
+        )
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
@@ -396,20 +523,19 @@ class ParallelRlfGrng(Grng):
         return codes
 
     def generate_codes(self, count: int) -> np.ndarray:
-        """Block path: run the cycles, then multiplex all rows at once.
+        """Block path: windowed cycle advance, then multiplex all rows at once.
 
-        Bit-exact with repeated :meth:`step` calls; the per-cycle output
-        copy and the rotating 4-way multiplexers are hoisted out of the
-        cycle loop and applied to the whole ``(cycles, lanes)`` block.
+        Bit-exact with repeated :meth:`step` calls; the state update runs
+        through :class:`RlfWindowKernel` (up to 125 cycles per batch of
+        NumPy calls for the paper design) and the per-cycle output copy
+        and rotating 4-way multiplexers are hoisted out of the cycle loop
+        and applied to the whole ``(cycles, lanes)`` block.
         """
         count = self._check_count(count)
         if count == 0:
             return np.empty(0, dtype=np.int64)
         cycles = -(-count // self.lanes)
-        raw = np.empty((cycles, self.lanes), dtype=np.int64)
-        for i in range(cycles):
-            self._advance()
-            raw[i] = self.counts
+        raw, self.head = self._kernel.advance(self.state, self.counts, self.head, cycles)
         if self._multiplex:
             rotations = (self.cycle + np.arange(cycles)) % 4
             grouped = raw.reshape(cycles, -1, 4)

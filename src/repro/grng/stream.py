@@ -111,11 +111,33 @@ class GrngStream(BlockGrng):
 
     def generate_codes(self, count: int) -> np.ndarray:
         count = self._check_count(count)
+        if count == 0:
+            # Capability probe passthrough: a zero-count request consults
+            # the source (free by the count contract) so a stream over a
+            # float-only generator raises here exactly like the source
+            # would, instead of masquerading as code-capable until the
+            # first real draw fails mid-inference.
+            self.source.generate_codes(0)
+            return np.empty(0, dtype=np.int64)
         out = np.empty(count, dtype=np.int64)
         self._code_buffer, self._code_pos = self._serve(
             out, self._code_buffer, self._code_pos, self.source.generate_codes
         )
         return out
+
+    def fill_codes(self, out: np.ndarray) -> None:
+        """Code analogue of :meth:`fill`: serve from the code buffer."""
+        out = self._check_code_out(out)
+        if out.size == 0:
+            self.source.generate_codes(0)  # capability probe passthrough
+            return
+        contiguous = out.flags.c_contiguous and out.dtype == np.int64
+        flat = out.reshape(-1) if contiguous else np.empty(out.size, dtype=np.int64)
+        self._code_buffer, self._code_pos = self._serve(
+            flat, self._code_buffer, self._code_pos, self.source.generate_codes
+        )
+        if not contiguous:
+            out[...] = flat.reshape(out.shape)
 
     def _serve(self, dest, buffer, pos, refill):
         """Serve ``dest.size`` values from ``buffer``, refilling in fixed

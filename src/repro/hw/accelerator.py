@@ -103,7 +103,15 @@ class VibnnAccelerator:
         return full_design_resources(self.config, self.layer_sizes)
 
     def infer(self, x: np.ndarray, n_samples: int = 1) -> InferenceResult:
-        """Run MC inference and account cycles, time and energy."""
+        """Run MC inference and account cycles, time and energy.
+
+        Routes through the functional model's stacked fixed-point path
+        (:meth:`~repro.bnn.quantized.QuantizedBayesianNetwork.predict_proba`):
+        all ``n_samples`` passes run as one int64 tensor computation fed
+        by a single epsilon block drawn through the code-block seam.  The
+        cycle/energy accounting is unchanged — it models the hardware,
+        not the host's execution strategy.
+        """
         check_positive("n_samples", n_samples)
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:

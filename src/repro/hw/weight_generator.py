@@ -18,12 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bnn.quantized import (
-    RLF_CODE_OFFSET,
-    RLF_SIGMA_SHIFT,
-    epsilon_format,
-    weight_format,
-)
+from repro.bnn.quantized import EpsilonSource, epsilon_format, weight_format
 from repro.errors import ConfigurationError
 from repro.fixedpoint import QFormat, requantize, saturate
 from repro.grng.base import Grng
@@ -52,16 +47,12 @@ class WeightGenerator:
         self.bit_length = bit_length
         self.weight_fmt: QFormat = weight_format(bit_length)
         self.eps_fmt: QFormat = epsilon_format(bit_length)
+        # Same capability-probed dispatch as the functional model
+        # (QuantizedBayesianNetwork): integer-vs-float is decided once
+        # here, and a failing generate_codes raises at the draw instead
+        # of silently switching the updater to the float-quantized path.
+        self._eps = EpsilonSource(grng, bit_length)
         self.samples_generated = 0
-
-    def _epsilons(self, count: int) -> tuple[np.ndarray, int]:
-        """Epsilon codes plus their implicit fractional bit count."""
-        try:
-            codes = self.grng.generate_codes(count)
-        except ConfigurationError:
-            floats = self.grng.generate(count)
-            return self.eps_fmt.quantize(floats), self.eps_fmt.frac_bits
-        return codes - RLF_CODE_OFFSET, RLF_SIGMA_SHIFT
 
     def sample(self, mu_codes: np.ndarray, sigma_codes: np.ndarray) -> np.ndarray:
         """Weight updater: elementwise ``mu + sigma * eps`` on weight codes.
@@ -97,9 +88,9 @@ class WeightGenerator:
             raise ConfigurationError(
                 f"mu/sigma shape mismatch: {mu_codes.shape} vs {sigma_codes.shape}"
             )
-        eps, eps_frac = self._epsilons(n_samples * mu_codes.size)
+        eps = self._eps.draw_block((n_samples,) + mu_codes.shape)
+        eps_frac = self._eps.frac_bits
         self.samples_generated += n_samples * mu_codes.size
-        eps = eps.reshape((n_samples,) + mu_codes.shape)
         product = sigma_codes * eps.astype(np.int64)
         delta = requantize(product, self.weight_fmt.frac_bits + eps_frac, self.weight_fmt)
         return saturate(mu_codes + delta, self.weight_fmt)

@@ -50,18 +50,38 @@ class LoadStats:
     #: Closed-loop rejections that were retried (and eventually completed).
     retried: int = 0
     failed: int = 0
+    #: Total wall clock of the run (arrival window + drain for open loop).
     duration_s: float = 0.0
+    #: Open loop only: the arrival window alone — the interval during
+    #: which requests were offered.  0.0 for closed-loop runs.
+    window_s: float = 0.0
+    #: Open loop only: post-window flush/drain and straggler collection.
+    drain_s: float = 0.0
     latencies_s: list[float] = field(default_factory=list, repr=False)
 
     @property
     def throughput_rps(self) -> float:
-        """Completed requests per second of wall clock."""
-        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+        """Completed requests per second.
+
+        Open-loop runs divide by the arrival window (all completed work
+        arrived inside it; including the post-window drain in the
+        denominator would understate the service); closed-loop runs use
+        the full wall clock, whose windows have no idle drain tail.
+        """
+        basis = self.window_s if self.window_s > 0 else self.duration_s
+        return self.completed / basis if basis > 0 else 0.0
 
     def latency_percentiles(self) -> dict[str, float]:
         return percentile_dict(self.latencies_s)
 
     def render(self) -> str:
+        if self.window_s > 0:
+            duration_line = (
+                f"duration     : {self.duration_s:.3f}s "
+                f"({self.window_s:.3f}s arrival window + {self.drain_s:.3f}s drain)"
+            )
+        else:
+            duration_line = f"duration     : {self.duration_s:.3f}s"
         return "\n".join(
             [
                 f"pattern      : {self.pattern}",
@@ -69,7 +89,7 @@ class LoadStats:
                 + (f" ({self.dropped} dropped by backpressure)" if self.dropped else "")
                 + (f" ({self.retried} backpressure retries)" if self.retried else ""),
                 f"completed    : {self.completed} ({self.failed} failed)",
-                f"duration     : {self.duration_s:.3f}s",
+                duration_line,
                 f"throughput   : {self.throughput_rps:,.1f} req/s",
                 f"latency      : {format_latency(self.latency_percentiles())}",
             ]
@@ -150,6 +170,10 @@ def run_open_loop(
     down because the service is busy.  Meaningful latency numbers need a
     service with ``workers >= 1``; in synchronous mode only full batches
     dispatch during the run and the remainder drains at the end.
+
+    The arrival window (``window_s``) and the post-window flush/drain
+    (``drain_s``) are measured separately; ``throughput_rps`` divides by
+    the window, so the drain tail no longer deflates the reported rate.
     """
     check_positive("rate_rps", rate_rps)
     check_positive("duration_s", duration_s)
@@ -177,7 +201,12 @@ def run_open_loop(
         except ServiceOverloaded:
             stats.dropped += 1
         index += 1
+    # The arrival window ends here; the flush/drain and straggler
+    # collection below are accounted separately so throughput_rps (which
+    # divides by the window) is not understated by the drain tail.
+    stats.window_s = time.perf_counter() - start
     service.flush()
     _collect(stats, tickets, _RESULT_TIMEOUT_S)
     stats.duration_s = time.perf_counter() - start
+    stats.drain_s = stats.duration_s - stats.window_s
     return stats

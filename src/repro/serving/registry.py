@@ -30,6 +30,7 @@ import numpy as np
 from repro.bnn.activations import inverse_softplus
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.quantized import QuantizedBayesianNetwork
 from repro.bnn.serialization import load_posterior
 from repro.errors import ConfigurationError, UnknownModelError
 from repro.grng import make_grng
@@ -77,34 +78,88 @@ def worker_stream_seed(base_seed: int, version: int, worker_index: int) -> int:
     return derive_seed(base_seed, "serving-worker", version, worker_index)
 
 
+class QuantizedServingPredictor:
+    """Worker-facing adapter over the fixed-point accelerator model.
+
+    Gives :class:`~repro.bnn.quantized.QuantizedBayesianNetwork` the same
+    ``predict_proba_batched`` surface :class:`ServingWorker` drives, so
+    the serving layer can front the accelerator's functional model with
+    the batcher, cache, metrics and load generators unchanged.
+    """
+
+    def __init__(self, network: QuantizedBayesianNetwork, n_samples: int) -> None:
+        self.network = network
+        self.n_samples = n_samples
+
+    def predict_proba_batched(self, x: np.ndarray) -> np.ndarray:
+        """One stacked fixed-point MC call over the coalesced batch."""
+        return self.network.predict_proba(x, n_samples=self.n_samples)
+
+
 @dataclass
 class ModelEntry:
-    """One servable model: network + serving parameters + version."""
+    """One servable model: network + serving parameters + version.
+
+    Two kinds share the entry shape:
+
+    * ``kind="float"`` — a software :class:`BayesianNetwork` served
+      through the batched :class:`MonteCarloPredictor` (``network`` set);
+    * ``kind="quantized"`` — exported ``(mu, sigma)`` posterior
+      parameters served through the fixed-point
+      :class:`~repro.bnn.quantized.QuantizedBayesianNetwork` at
+      ``bit_length`` bits (``posterior`` set) — the accelerator's
+      functional model behind the same micro-batching front end.
+    """
 
     name: str
-    network: BayesianNetwork
+    network: BayesianNetwork | None
     n_samples: int = 10
     grng_name: str = "bnnwallace"
     seed: int = 0
     version: int = 1
     source_path: str | None = None
+    kind: str = "float"
+    #: Operand width of the fixed-point datapath (quantized kind only).
+    bit_length: int = 8
+    #: Exported posterior parameters (quantized kind only).
+    posterior: "list[dict[str, np.ndarray]] | None" = None
     #: Serialized requests must match this row width.
     in_features: int = field(init=False)
     out_features: int = field(init=False)
 
     def __post_init__(self) -> None:
         check_positive("n_samples", self.n_samples)
-        self.in_features = self.network.layer_sizes[0]
-        self.out_features = self.network.layer_sizes[-1]
-
-    def build_predictor(self, worker_index: int) -> MonteCarloPredictor:
-        """Fresh batched predictor with this worker's decorrelated stream."""
-        grng = GrngStream(
-            make_grng(
-                self.grng_name,
-                seed=worker_stream_seed(self.seed, self.version, worker_index),
+        if self.kind == "quantized":
+            if not self.posterior:
+                raise ConfigurationError(
+                    "quantized model entries need exported posterior parameters"
+                )
+            self.in_features = self.posterior[0]["mu_weights"].shape[0]
+            self.out_features = self.posterior[-1]["mu_weights"].shape[1]
+        elif self.kind == "float":
+            if self.network is None:
+                raise ConfigurationError("float model entries need a network")
+            self.in_features = self.network.layer_sizes[0]
+            self.out_features = self.network.layer_sizes[-1]
+        else:
+            raise ConfigurationError(
+                f"unknown model kind {self.kind!r}; expected 'float' or 'quantized'"
             )
-        )
+
+    def build_predictor(self, worker_index: int):
+        """Fresh batched predictor with this worker's decorrelated stream."""
+        stream_seed = worker_stream_seed(self.seed, self.version, worker_index)
+        grng = GrngStream(make_grng(self.grng_name, seed=stream_seed))
+        if self.kind == "quantized":
+            return QuantizedServingPredictor(
+                QuantizedBayesianNetwork(
+                    self.posterior,
+                    bit_length=self.bit_length,
+                    grng=grng,
+                    seed=stream_seed,
+                ),
+                self.n_samples,
+            )
         return MonteCarloPredictor(
             self.network, grng=grng, n_samples=self.n_samples, batched=True
         )
@@ -232,17 +287,87 @@ class ModelRegistry:
         )
 
     # ------------------------------------------------------------------
+    # Quantized hardware models
+    # ------------------------------------------------------------------
+    def register_quantized(
+        self,
+        name: str,
+        posterior: list[dict[str, np.ndarray]],
+        *,
+        bit_length: int = 8,
+        n_samples: int = 10,
+        grng: str = "rlf",
+        seed: int = 0,
+        source_path: "str | pathlib.Path | None" = None,
+    ) -> ModelEntry:
+        """Register exported parameters as a *quantized hardware* model.
+
+        Requests against this entry run through the fixed-point
+        :class:`~repro.bnn.quantized.QuantizedBayesianNetwork` — the same
+        functional model the :class:`~repro.hw.accelerator.VibnnAccelerator`
+        wraps — at ``bit_length`` bits with the named GRNG supplying
+        epsilons (default ``"rlf"``, the paper's hardware generator).
+        Cache, metrics, micro-batching and the load generators are shared
+        with float models unchanged.
+        """
+        return self._install(
+            ModelEntry(
+                name,
+                None,
+                n_samples=n_samples,
+                grng_name=grng,
+                seed=seed,
+                kind="quantized",
+                bit_length=bit_length,
+                posterior=posterior,
+                source_path=None if source_path is None else str(source_path),
+            )
+        )
+
+    def register_quantized_file(
+        self,
+        name: str,
+        path: "str | pathlib.Path",
+        *,
+        bit_length: int = 8,
+        n_samples: int = 10,
+        grng: str = "rlf",
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Load a saved posterior ``.npz`` and serve it quantized."""
+        posterior = load_posterior(path)
+        return self.register_quantized(
+            name,
+            posterior,
+            bit_length=bit_length,
+            n_samples=n_samples,
+            grng=grng,
+            seed=seed,
+            source_path=path,
+        )
+
+    # ------------------------------------------------------------------
     def reload(self, name: str) -> ModelEntry:
         """Re-read a file-backed model and bump its version.
 
         Worker predictors and cache entries keyed on the old version become
-        unreachable, so a reload atomically invalidates both.
+        unreachable, so a reload atomically invalidates both.  The entry's
+        kind survives: a quantized model reloads as a quantized model.
         """
         entry = self.get(name)
         if entry.source_path is None:
             raise ConfigurationError(
                 f"model {name!r} was registered in-memory; only file-backed "
                 "models can be reloaded"
+            )
+        if entry.kind == "quantized":
+            return self.register_quantized_file(
+                name,
+                entry.source_path,
+                bit_length=entry.bit_length,
+                n_samples=entry.n_samples,
+                grng=entry.grng_name,
+                seed=entry.seed,
             )
         return self.register_file(
             name,

@@ -120,6 +120,15 @@ class BnnService:
     def register_file(self, name: str, path: "str | pathlib.Path", **kwargs) -> ModelEntry:
         return self.registry.register_file(name, path, **kwargs)
 
+    def register_quantized(self, name: str, posterior, **kwargs) -> ModelEntry:
+        """Serve exported parameters through the fixed-point hardware model."""
+        return self.registry.register_quantized(name, posterior, **kwargs)
+
+    def register_quantized_file(
+        self, name: str, path: "str | pathlib.Path", **kwargs
+    ) -> ModelEntry:
+        return self.registry.register_quantized_file(name, path, **kwargs)
+
     def reload(self, name: str) -> ModelEntry:
         """Re-read a file-backed model; eagerly drops its cached rows."""
         entry = self.registry.reload(name)

@@ -162,3 +162,45 @@ class TestMonteCarloPredictor:
     def test_n_samples_validation(self):
         with pytest.raises(ConfigurationError):
             MonteCarloPredictor(BayesianNetwork((4, 2)), n_samples=0)
+
+
+class TestTrainerDivergence:
+    class _DivergingModel:
+        """Train step goes non-finite immediately; predict must not run."""
+
+        def __init__(self):
+            self.predict_calls = 0
+
+        def train_step(self, xb, yb, optimizer):
+            return float("nan")
+
+        def predict(self, x):
+            self.predict_calls += 1
+            return np.zeros(x.shape[0], dtype=int)
+
+    def test_divergence_detected_before_evaluation(self):
+        # The non-finite loss must abort the epoch BEFORE paying the full
+        # train/test accuracy evaluation on garbage parameters.
+        x, y = _toy_task(seed=4)
+        model = self._DivergingModel()
+        with pytest.raises(TrainingError, match="diverged at epoch 1"):
+            Trainer(model, Adam(1e-3), epochs=3).fit(x, y, x, y)
+        assert model.predict_calls == 0
+
+    def test_diverged_loss_recorded_in_history_error(self):
+        x, y = _toy_task(seed=5)
+        with pytest.raises(TrainingError, match="loss=nan"):
+            Trainer(self._DivergingModel(), Adam(1e-3), epochs=1).fit(x, y)
+
+    def test_final_test_accuracy_messages(self):
+        from repro.bnn.trainer import TrainingHistory
+
+        # Epochs ran, but no test set was supplied: the error must say so
+        # instead of claiming no epochs were recorded.
+        x, y = _toy_task(seed=6)
+        fnn = FeedForwardNetwork((6, 4, 2), seed=8)
+        history = Trainer(fnn, Adam(1e-3), epochs=2).fit(x, y)
+        with pytest.raises(TrainingError, match="without a test set"):
+            history.final_test_accuracy()
+        with pytest.raises(TrainingError, match="no epochs recorded"):
+            TrainingHistory().final_test_accuracy()

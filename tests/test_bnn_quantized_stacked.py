@@ -1,0 +1,212 @@
+"""Stacked-vs-loop equivalence and epsilon-dispatch tests (fixed point).
+
+Two load-bearing properties of the fixed-point inference stack:
+
+* the stacked path (:meth:`QuantizedBayesianNetwork.predict_proba`) is a
+  pure reformulation of the per-pass reference loop — bit for bit, for
+  every registered generator behind a :class:`GrngStream`;
+* the epsilon dispatch is capability-probed once at construction and
+  NEVER falls back silently: a code-datapath generator whose
+  ``generate_codes`` fails mid-run surfaces the error instead of
+  switching the run onto the float-quantized path with different
+  numerics (the regression the seed's blanket ``except
+  ConfigurationError`` allowed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.quantized import (
+    RLF_SIGMA_SHIFT,
+    EpsilonSource,
+    QuantizedBayesianNetwork,
+    epsilon_format,
+)
+from repro.errors import ConfigurationError
+from repro.grng import BnnWallaceGrng, GrngStream, NumpyGrng, ParallelRlfGrng
+from repro.grng.base import Grng
+from repro.grng.factory import available_grngs, make_grng
+from repro.hw.weight_generator import WeightGenerator
+
+
+def _posterior(seed=0, sizes=(10, 8, 4)):
+    return BayesianNetwork(sizes, seed=seed, initial_sigma=0.05).posterior_parameters()
+
+
+X = np.random.default_rng(0).random((12, 10))
+
+
+class FlakyCodesGrng(Grng):
+    """Passes the zero-count capability probe, fails every real code draw.
+
+    Models the bug class the shared dispatch exists to catch: a
+    count-validation error or any mid-call failure inside a code-datapath
+    generator.  The seed's per-call ``except ConfigurationError`` silently
+    rerouted this onto the float path.
+    """
+
+    def __init__(self, fail_after: int = 0) -> None:
+        self._calls_left = fail_after
+
+    def generate(self, count: int) -> np.ndarray:
+        count = self._check_count(count)
+        return np.zeros(count)
+
+    def generate_codes(self, count: int) -> np.ndarray:
+        count = self._check_count(count)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._calls_left <= 0:
+            raise ConfigurationError("injected mid-run generate_codes failure")
+        self._calls_left -= 1
+        return np.full(count, 128, dtype=np.int64)
+
+
+class TestStackedEquivalence:
+    @pytest.mark.parametrize("name", available_grngs())
+    def test_every_generator_bit_for_bit_behind_stream(self, name):
+        # GrngStream makes the epsilon stream call-pattern invariant, so
+        # the stacked path consumes exactly the values the loop does.
+        posterior = _posterior()
+        stacked = QuantizedBayesianNetwork(
+            posterior, bit_length=8, grng=GrngStream(make_grng(name, 5), block_size=4096)
+        )
+        loop = QuantizedBayesianNetwork(
+            posterior, bit_length=8, grng=GrngStream(make_grng(name, 5), block_size=4096)
+        )
+        assert np.array_equal(
+            stacked.predict_proba(X, n_samples=7),
+            loop.predict_proba_loop(X, n_samples=7),
+        )
+
+    def test_numpy_fallback_bit_for_bit(self):
+        posterior = _posterior(seed=1)
+        stacked = QuantizedBayesianNetwork(posterior, bit_length=8, seed=9)
+        loop = QuantizedBayesianNetwork(posterior, bit_length=8, seed=9)
+        assert np.array_equal(
+            stacked.predict_proba(X, n_samples=6),
+            loop.predict_proba_loop(X, n_samples=6),
+        )
+
+    @pytest.mark.parametrize("bits", [4, 12, 16, 32])
+    def test_bit_lengths_including_non_blas_widths(self, bits):
+        # 32-bit operands exceed the float64-exactness bound, exercising
+        # the int64-matmul fallback inside the stacked MAC.
+        posterior = _posterior(seed=2)
+        stacked = QuantizedBayesianNetwork(
+            posterior, bit_length=bits, grng=GrngStream(make_grng("rlf", 2))
+        )
+        loop = QuantizedBayesianNetwork(
+            posterior, bit_length=bits, grng=GrngStream(make_grng("rlf", 2))
+        )
+        assert np.array_equal(
+            stacked.predict_proba(X, n_samples=5),
+            loop.predict_proba_loop(X, n_samples=5),
+        )
+
+    def test_forward_stacked_codes_shape_and_validation(self):
+        quantized = QuantizedBayesianNetwork(_posterior(seed=3), bit_length=8, seed=0)
+        codes = quantized.act_fmt.quantize(X)
+        logits = quantized.forward_stacked_codes(codes, 4)
+        assert logits.shape == (4, X.shape[0], 4)
+        assert logits.max() <= quantized.act_fmt.max_int
+        assert logits.min() >= quantized.act_fmt.min_int
+        with pytest.raises(ConfigurationError, match="expected codes"):
+            quantized.forward_stacked_codes(np.zeros((3, 99), dtype=np.int64), 2)
+
+    def test_eps_per_pass_counts_weights_and_biases(self):
+        quantized = QuantizedBayesianNetwork(_posterior(), bit_length=8, seed=0)
+        assert quantized.eps_per_pass == 10 * 8 + 8 + 8 * 4 + 4
+
+    def test_n_samples_validation(self):
+        quantized = QuantizedBayesianNetwork(_posterior(), bit_length=8, seed=0)
+        with pytest.raises(ConfigurationError):
+            quantized.predict_proba(X, n_samples=0)
+        with pytest.raises(ConfigurationError):
+            quantized.predict_proba_loop(X, n_samples=-1)
+
+
+class TestEpsilonSource:
+    def test_probes_capability_once_at_construction(self):
+        assert EpsilonSource(ParallelRlfGrng(lanes=8, seed=0), 8).uses_codes
+        assert not EpsilonSource(BnnWallaceGrng(units=2, pool_size=64, seed=0), 8).uses_codes
+        assert not EpsilonSource(None, 8, rng=np.random.default_rng(0)).uses_codes
+
+    def test_streamed_float_source_routes_float(self):
+        # A GrngStream over a float-only source must be detected as
+        # float-capable (the stream forwards the zero-count probe), not
+        # misdetected as code-capable and then fail at the first draw.
+        source = EpsilonSource(GrngStream(BnnWallaceGrng(units=2, pool_size=64, seed=0)), 8)
+        assert not source.uses_codes
+        assert source.draw(5).shape == (5,)
+
+    def test_frac_bits_fixed_by_capability(self):
+        assert EpsilonSource(ParallelRlfGrng(lanes=8, seed=0), 8).frac_bits == RLF_SIGMA_SHIFT
+        assert EpsilonSource(NumpyGrng(0), 8).frac_bits == epsilon_format(8).frac_bits
+
+    def test_requires_grng_or_rng(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonSource(None, 8)
+
+    def test_draw_and_block_consume_identical_stream(self):
+        a = EpsilonSource(GrngStream(ParallelRlfGrng(lanes=8, seed=4)), 8)
+        b = EpsilonSource(GrngStream(ParallelRlfGrng(lanes=8, seed=4)), 8)
+        block = a.draw_block((3, 5))
+        chopped = np.concatenate([b.draw(5) for _ in range(3)])
+        assert np.array_equal(block.reshape(-1), chopped)
+
+
+class TestNoSilentFloatFallback:
+    def test_quantized_network_raises_on_mid_run_code_failure(self):
+        quantized = QuantizedBayesianNetwork(
+            _posterior(), bit_length=8, grng=FlakyCodesGrng(), seed=0
+        )
+        assert quantized._eps.uses_codes  # probe succeeded
+        with pytest.raises(ConfigurationError, match="injected mid-run"):
+            quantized.predict_proba(X, n_samples=2)
+        with pytest.raises(ConfigurationError, match="injected mid-run"):
+            quantized.predict_proba_loop(X, n_samples=2)
+
+    def test_failure_after_first_successful_draw_still_raises(self):
+        # The first layer's draw succeeds, the second fails — the run
+        # must abort rather than continue with float numerics.
+        quantized = QuantizedBayesianNetwork(
+            _posterior(), bit_length=8, grng=FlakyCodesGrng(fail_after=1), seed=0
+        )
+        with pytest.raises(ConfigurationError, match="injected mid-run"):
+            quantized.predict_proba_loop(X, n_samples=2)
+
+    def test_weight_generator_raises_on_mid_run_code_failure(self):
+        gen = WeightGenerator(FlakyCodesGrng(), bit_length=8)
+        assert gen._eps.uses_codes
+        mu = np.zeros(6, dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="injected mid-run"):
+            gen.sample(mu, mu)
+        with pytest.raises(ConfigurationError, match="injected mid-run"):
+            gen.sample_block(mu, mu, 3)
+
+    def test_failing_path_does_not_change_numerics_silently(self):
+        # The regression scenario end to end: the flaky generator's float
+        # path would happily produce (different) numbers — assert we
+        # never get numbers at all.
+        flaky = FlakyCodesGrng()
+        quantized = QuantizedBayesianNetwork(_posterior(), bit_length=8, grng=flaky)
+        with pytest.raises(ConfigurationError):
+            quantized.predict(X, n_samples=1)
+
+    def test_float_generators_still_serve_the_quantized_path(self):
+        # Capability-probed float routing is not an error: BNNWallace
+        # (and any float GRNG) still feeds the datapath via Q2.(B-3).
+        quantized = QuantizedBayesianNetwork(
+            _posterior(), bit_length=8, grng=BnnWallaceGrng(units=2, pool_size=64, seed=0)
+        )
+        probs = quantized.predict_proba(X, n_samples=3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_dispatch_shared_between_functional_and_cycle_models(self):
+        # The dedup requirement: both consumers route through EpsilonSource.
+        quantized = QuantizedBayesianNetwork(_posterior(), bit_length=8, seed=0)
+        gen = WeightGenerator(NumpyGrng(0), bit_length=8)
+        assert isinstance(quantized._eps, EpsilonSource)
+        assert isinstance(gen._eps, EpsilonSource)

@@ -117,3 +117,43 @@ class TestBinomialLfsr:
         # The motivating cost: a full-width PC for the naive design.
         grng = BinomialLfsrGrng(seed=0)
         assert grng.parallel_counter.full_adders == 255 - 8
+
+    def test_vectorised_path_matches_shift_lfsr_loop(self):
+        # The windowed kernel must reproduce, bit for bit, what the seed
+        # did: step the eq.-(9) shifting LFSR twice per sample and emit
+        # its popcount.
+        from repro.rng.lfsr import ShiftHeadLfsr
+        from repro.utils.bitops import bits_to_int
+        from repro.utils.seeding import spawn_generator
+
+        rng = spawn_generator(7, "binomial-lfsr")
+        bits = rng.integers(0, 2, size=255, dtype=np.uint8)
+        if not bits.any():
+            bits[0] = 1
+        lfsr = ShiftHeadLfsr(
+            width=255, inject_taps=(250, 252, 253), seed=int(bits_to_int(bits))
+        )
+        reference = np.empty(300, dtype=np.int64)
+        for i in range(300):
+            lfsr.step()
+            lfsr.step()
+            reference[i] = lfsr.popcount()
+        grng = BinomialLfsrGrng(seed=7)
+        assert np.array_equal(grng.generate_codes(300), reference)
+        assert grng.state_register() == lfsr.state
+
+    def test_chopped_requests_compose(self):
+        chopped = BinomialLfsrGrng(seed=1)
+        whole = BinomialLfsrGrng(seed=1)
+        parts = np.concatenate([chopped.generate_codes(n) for n in (3, 0, 17, 80)])
+        assert np.array_equal(parts, whole.generate_codes(100))
+
+    def test_custom_width_and_steps(self):
+        grng = BinomialLfsrGrng(seed=2, width=64, inject_taps=(40, 50, 60), steps_per_sample=3)
+        codes = grng.generate_codes(50)
+        assert codes.shape == (50,)
+        assert codes.min() >= 0 and codes.max() <= 64
+
+    def test_invalid_tap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BinomialLfsrGrng(width=64, inject_taps=(64,))

@@ -273,3 +273,56 @@ class TestRlfProperty:
         for _ in range(20):
             count = logic.step()
             assert 0 <= count <= 255
+
+
+class TestWindowKernel:
+    """The windowed multi-cycle kernel must match per-step advancement."""
+
+    @pytest.mark.parametrize("double_step", [True, False])
+    @pytest.mark.parametrize("multiplex", [True, False])
+    def test_generate_codes_matches_step_sequence(self, double_step, multiplex):
+        kwargs = dict(lanes=16, seed=3, double_step=double_step, multiplex_outputs=multiplex)
+        block_gen = ParallelRlfGrng(**kwargs)
+        step_gen = ParallelRlfGrng(**kwargs)
+        # Crosses several window boundaries (window_max is 125/250).
+        count = 16 * 300 + 5
+        cycles = -(-count // 16)
+        block = block_gen.generate_codes(count)
+        reference = np.concatenate([step_gen.step() for _ in range(cycles)])[:count]
+        assert np.array_equal(block, reference)
+        assert block_gen.head == step_gen.head
+        assert np.array_equal(block_gen.counts, step_gen.counts)
+        assert np.array_equal(block_gen.state, step_gen.state)
+
+    def test_chopped_requests_compose(self):
+        chopped = ParallelRlfGrng(lanes=8, seed=4)
+        whole = ParallelRlfGrng(lanes=8, seed=4)
+        parts = [chopped.generate_codes(n) for n in (8, 128, 8 * 130)]
+        # Each request rounds up to whole cycles; all are lane multiples
+        # here, so the concatenation equals one big draw.
+        assert np.array_equal(np.concatenate(parts), whole.generate_codes(8 * 147))
+
+    @pytest.mark.parametrize("width,taps", [(16, (9, 12, 13)), (8, (4, 5, 6)), (32, (20, 27, 29))])
+    def test_custom_widths_and_taps(self, width, taps):
+        for double_step in (True, False):
+            block_gen = ParallelRlfGrng(
+                lanes=8, seed=1, width=width, inject_taps=taps, double_step=double_step
+            )
+            step_gen = ParallelRlfGrng(
+                lanes=8, seed=1, width=width, inject_taps=taps, double_step=double_step
+            )
+            block = block_gen.generate_codes(8 * 50)
+            reference = np.concatenate([step_gen.step() for _ in range(50)])
+            assert np.array_equal(block, reference), (width, taps, double_step)
+            assert np.array_equal(block_gen.state, step_gen.state)
+
+    def test_window_bounds_for_paper_design(self):
+        # Double-step: first head/write collision at d = 125 cycles;
+        # single-step: at d = 250 (the smallest tap offset).
+        assert ParallelRlfGrng(lanes=4, seed=0)._kernel.window_max == 125
+        assert ParallelRlfGrng(lanes=4, seed=0, double_step=False)._kernel.window_max == 250
+
+    def test_counts_still_match_full_popcounts_after_block(self):
+        grng = ParallelRlfGrng(lanes=8, seed=6, multiplex_outputs=False)
+        grng.generate_codes(8 * 400)
+        assert np.array_equal(grng.counts, grng.state.sum(axis=0))

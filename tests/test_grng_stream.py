@@ -176,3 +176,76 @@ class TestGrngStream:
         assert isinstance(stream, GrngStream)
         assert stream.block_size == 256
         assert stream.generate(10).shape == (10,)
+
+
+#: Registered generators exposing the integer code datapath.
+CODE_GRNGS = ["rlf", "rlf-single", "rlf-single-step", "binomial-lfsr"]
+
+
+class TestCodeBlockSeam:
+    """generate_codes_block/fill_codes contract (the integer-block seam)."""
+
+    @pytest.mark.parametrize("name", CODE_GRNGS)
+    def test_generate_codes_block_is_reshaped_stream(self, name):
+        block = make_grng(name, seed=11).generate_codes_block((6, 35))
+        flat = make_grng(name, seed=11).generate_codes(6 * 35)
+        assert block.shape == (6, 35)
+        assert block.dtype == np.int64
+        assert np.array_equal(block, flat.reshape(6, 35))
+
+    @pytest.mark.parametrize("name", CODE_GRNGS)
+    def test_fill_codes_matches_generate_codes_block(self, name):
+        out = np.empty((3, 17), dtype=np.int64)
+        make_grng(name, seed=7).fill_codes(out)
+        expected = make_grng(name, seed=7).generate_codes_block((3, 17))
+        assert np.array_equal(out, expected)
+
+    def test_fill_codes_non_contiguous_target(self):
+        backing = np.zeros((4, 10), dtype=np.int64)
+        view = backing[:, ::2]  # non-contiguous
+        GrngStream(ParallelRlfGrng(lanes=8, seed=3)).fill_codes(view)
+        expected = GrngStream(ParallelRlfGrng(lanes=8, seed=3)).generate_codes_block((4, 5))
+        assert np.array_equal(view, expected)
+        assert (backing[:, 1::2] == 0).all()  # gaps untouched
+
+    def test_fill_codes_target_validation(self):
+        grng = ParallelRlfGrng(lanes=8, seed=0)
+        with pytest.raises(ConfigurationError, match="ndarray"):
+            grng.fill_codes([0, 0])
+        with pytest.raises(ConfigurationError, match="signed integer"):
+            grng.fill_codes(np.zeros(4))  # float target
+        locked = np.zeros(4, dtype=np.int64)
+        locked.flags.writeable = False
+        with pytest.raises(ConfigurationError, match="writable"):
+            grng.fill_codes(locked)
+
+    def test_code_seam_raises_on_codeless_generators_for_any_count(self):
+        # Including count 0: generate_codes(0) is the capability probe.
+        grng = NumpyGrng(0)
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            grng.generate_codes(0)
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            grng.generate_codes_block((0,))
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            grng.fill_codes(np.empty(0, dtype=np.int64))
+
+    def test_stream_forwards_capability_probe(self):
+        # A stream over a float-only source must raise on the zero-count
+        # probe too — otherwise consumers would detect a code datapath
+        # that fails at the first real draw.
+        stream = GrngStream(NumpyGrng(0))
+        with pytest.raises(ConfigurationError, match="no integer code datapath"):
+            stream.generate_codes(0)
+        code_stream = GrngStream(ParallelRlfGrng(lanes=8, seed=1))
+        assert code_stream.generate_codes(0).shape == (0,)
+        assert code_stream.refills == 0  # the probe consumed nothing
+
+    def test_stream_fill_codes_buffered_and_call_pattern_invariant(self):
+        stream = GrngStream(ParallelRlfGrng(lanes=8, seed=2), block_size=64)
+        parts = []
+        for n in (5, 60, 63):
+            out = np.empty(n, dtype=np.int64)
+            stream.fill_codes(out)
+            parts.append(out)
+        whole = ParallelRlfGrng(lanes=8, seed=2).generate_codes(128)
+        assert np.array_equal(np.concatenate(parts), whole)

@@ -1,0 +1,68 @@
+"""Tests for the load generators' accounting (window/drain split)."""
+
+import numpy as np
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.serving.loadgen import LoadStats, run_closed_loop, run_open_loop
+from repro.serving.service import BnnService, ServiceConfig
+
+
+def _service(**overrides):
+    config = ServiceConfig(
+        workers=0, cache_capacity=0, max_batch=8, max_wait_ms=0.0, **overrides
+    )
+    service = BnnService(config=config)
+    network = BayesianNetwork((6, 5, 3), seed=0, initial_sigma=0.05)
+    service.register_network("m", network, n_samples=2, grng="numpy", seed=0)
+    return service
+
+
+X = np.random.default_rng(0).random((4, 6))
+
+
+class TestOpenLoopAccounting:
+    def test_window_and_drain_measured_separately(self):
+        with _service() as service:
+            stats = run_open_loop(
+                service, "m", X, rate_rps=400.0, duration_s=0.2, seed=1
+            )
+        assert stats.window_s > 0
+        assert stats.drain_s >= 0
+        assert stats.duration_s >= stats.window_s
+        # duration is exactly window + drain (measured once each).
+        assert stats.duration_s == stats.window_s + stats.drain_s
+
+    def test_throughput_divides_by_arrival_window(self):
+        with _service() as service:
+            stats = run_open_loop(
+                service, "m", X, rate_rps=400.0, duration_s=0.2, seed=2
+            )
+        assert stats.completed > 0
+        assert stats.throughput_rps == stats.completed / stats.window_s
+        # The seed bug: dividing by the full duration (window + drain)
+        # understates the rate whenever any drain happened.
+        if stats.drain_s > 0:
+            assert stats.throughput_rps > stats.completed / stats.duration_s
+
+    def test_render_reports_both_intervals(self):
+        with _service() as service:
+            stats = run_open_loop(
+                service, "m", X, rate_rps=200.0, duration_s=0.1, seed=3
+            )
+        text = stats.render()
+        assert "arrival window" in text
+        assert "drain" in text
+
+
+class TestClosedLoopAccounting:
+    def test_closed_loop_keeps_wall_clock_basis(self):
+        with _service() as service:
+            stats = run_closed_loop(service, "m", X, total_requests=20, window=8)
+        assert stats.window_s == 0.0
+        assert stats.drain_s == 0.0
+        assert stats.throughput_rps == stats.completed / stats.duration_s
+        assert "arrival window" not in stats.render()
+
+    def test_zero_duration_safe(self):
+        stats = LoadStats(pattern="x", offered=0, completed=0)
+        assert stats.throughput_rps == 0.0
