@@ -311,6 +311,24 @@ class QuantizedBayesianNetwork:
             sampled.append((w, layer["mu_b_acc"][None] + delta_b))
         return sampled
 
+    def sample_weight_stacks(
+        self, n_samples: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Sample all ``n_samples`` passes' weights through the code-block seam.
+
+        Draws one ``(n_samples, eps_per_pass)`` epsilon block and applies
+        the eq.-(2) updater to the whole stack: returns per-layer
+        ``(w, b)`` of shapes ``(n_samples, in, out)`` (weight-format
+        codes) and ``(n_samples, out)`` (accumulator-precision bias
+        codes).  This is the weight stream both
+        :meth:`forward_stacked_codes` and the detailed datapath's
+        :meth:`~repro.hw.accelerator.DetailedDatapathSimulator.run_network_batch`
+        consume, so the two models see identical sampled weights.
+        """
+        check_positive("n_samples", n_samples)
+        eps_block = self._eps.draw_block((n_samples, self.eps_per_pass))
+        return self._stacked_layer_weights(eps_block)
+
     # ------------------------------------------------------------------
     # Forward passes
     # ------------------------------------------------------------------
@@ -351,8 +369,7 @@ class QuantizedBayesianNetwork:
             raise ConfigurationError(
                 f"expected codes of shape (batch, {self.layer_sizes[0]}), got {x_codes.shape}"
             )
-        eps_block = self._eps.draw_block((n_samples, self.eps_per_pass))
-        sampled = self._stacked_layer_weights(eps_block)
+        sampled = self.sample_weight_stacks(n_samples)
         batch = x_codes.shape[0]
         x64 = x_codes.astype(np.int64)
         hidden: np.ndarray | None = None  # None means "x shared across samples"

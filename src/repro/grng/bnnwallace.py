@@ -100,6 +100,33 @@ class BnnWallaceGrng(Grng):
         self._phase = (self._phase + 1) % self.pool_size
         return generated.reshape(-1)
 
+    def _window_cycles(self, remaining: int, avoid_slots: np.ndarray | None = None) -> int:
+        """Longest :meth:`_batch_cycles` window from the current state.
+
+        Bounded so neither the address counter nor the stride-5 slot
+        window wraps the pool edge; a result ``< 1`` means the next cycle
+        must take the single-:meth:`step` path.  ``avoid_slots`` (sorted
+        pool addresses) further bounds the window so that at most its
+        *final* cycle writes to an avoided slot — the hook the fault
+        injector uses to keep per-cycle re-pinning exact while riding the
+        batch kernel.  Keeping this algebra here means the slot layout
+        has a single owner.
+        """
+        base = (self._addr + self._phase) % self.pool_size
+        k_addr = (self.pool_size - self._addr) // 4
+        k_base = (self.pool_size - 4 - base) // 5 + 1
+        k = min(remaining, k_addr, k_base)
+        if k >= 1 and avoid_slots is not None and len(avoid_slots):
+            slots = (
+                base
+                + 5 * np.arange(k, dtype=np.int64)[:, None]
+                + np.arange(4, dtype=np.int64)[None, :]
+            )
+            hits = np.flatnonzero(np.isin(slots, avoid_slots).any(axis=1))
+            if hits.size:
+                k = int(hits[0]) + 1
+        return k
+
     def _batch_cycles(self, k: int) -> np.ndarray:
         """Run ``k`` cycles whose slot windows don't wrap; return the rows.
 
@@ -132,10 +159,7 @@ class BnnWallaceGrng(Grng):
         rows: list[np.ndarray] = []
         done = 0
         while done < cycles:
-            base = (self._addr + self._phase) % self.pool_size
-            k_addr = (self.pool_size - self._addr) // 4
-            k_base = (self.pool_size - 4 - base) // 5 + 1
-            k = min(cycles - done, k_addr, k_base)
+            k = self._window_cycles(cycles - done)
             if k < 1:
                 # Slot window wraps around the pool edge: single-cycle path.
                 rows.append(self.step()[None, :])

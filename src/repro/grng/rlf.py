@@ -126,6 +126,24 @@ class RlfWindowKernel:
         scatter_safe = (width - span - 1) // stride + 1
         self.window_max = max(1, min(head_safe, scatter_safe))
 
+    def cycles_until_write(self, head: int, rows: np.ndarray, window: int) -> int:
+        """Cycles until (and including) the first tap write landing on ``rows``.
+
+        ``rows`` holds state positions (sorted or not); the result is the
+        largest window ``w <= window`` such that only its *final* cycle
+        writes to one of them (``window`` itself when none do).  The fault
+        injectors use this to bound windows at the first write onto a
+        stuck row — the only event that makes a per-cycle re-pin
+        observable — while keeping the write-position algebra with the
+        kernel that owns it.
+        """
+        cycle_index = np.arange(window, dtype=np.int64)
+        positions = (
+            head + cycle_index[:, None] * self.stride + self.taps[None, :]
+        ) % self.width
+        hits = np.flatnonzero(np.isin(positions, rows).any(axis=1))
+        return int(hits[0]) + 1 if hits.size else window
+
     def advance(
         self, state: np.ndarray, counts: np.ndarray, head: int, cycles: int
     ) -> tuple[np.ndarray, int]:
@@ -522,6 +540,25 @@ class ParallelRlfGrng(Grng):
         self.cycle += 1
         return codes
 
+    def _multiplex_block(self, raw: np.ndarray) -> np.ndarray:
+        """Apply the rotating 4-way output muxes to a ``(cycles, lanes)`` block.
+
+        Mutates ``raw`` in place, advances :attr:`cycle` by the block
+        length, and returns ``raw`` — the hoisted-out-of-the-cycle-loop
+        form of :meth:`step`'s per-cycle rotation, shared by the clean
+        block path and the fault injector.
+        """
+        cycles = raw.shape[0]
+        if self._multiplex:
+            rotations = (self.cycle + np.arange(cycles)) % 4
+            grouped = raw.reshape(cycles, -1, 4)
+            for rotation in range(1, 4):
+                rows = rotations == rotation
+                if rows.any():
+                    grouped[rows] = np.roll(grouped[rows], rotation, axis=2)
+        self.cycle += cycles
+        return raw
+
     def generate_codes(self, count: int) -> np.ndarray:
         """Block path: windowed cycle advance, then multiplex all rows at once.
 
@@ -536,15 +573,7 @@ class ParallelRlfGrng(Grng):
             return np.empty(0, dtype=np.int64)
         cycles = -(-count // self.lanes)
         raw, self.head = self._kernel.advance(self.state, self.counts, self.head, cycles)
-        if self._multiplex:
-            rotations = (self.cycle + np.arange(cycles)) % 4
-            grouped = raw.reshape(cycles, -1, 4)
-            for rotation in range(1, 4):
-                rows = rotations == rotation
-                if rows.any():
-                    grouped[rows] = np.roll(grouped[rows], rotation, axis=2)
-        self.cycle += cycles
-        return raw.reshape(-1)[:count]
+        return self._multiplex_block(raw).reshape(-1)[:count]
 
     def generate(self, count: int) -> np.ndarray:
         return standardize_codes(self.generate_codes(count), self.width)

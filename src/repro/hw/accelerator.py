@@ -30,8 +30,8 @@ from repro.grng.rlf import ParallelRlfGrng
 from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import NetworkSchedule, schedule_network
 from repro.hw.memory import DoubleBufferedMemory, WeightParameterMemory
-from repro.hw.packing import pack_word, unpack_word
-from repro.hw.pe import PeSet
+from repro.hw.packing import pack_word, pack_words, unpack_word, unpack_words
+from repro.hw.pe import PeSet, stacked_accumulate, stacked_finish
 from repro.hw.resources import full_design_resources, system_clock_mhz, system_power_mw
 from repro.utils.validation import check_positive
 
@@ -143,12 +143,26 @@ class VibnnAccelerator:
 
 
 class DetailedDatapathSimulator:
-    """Word-by-word simulation of one layer on the PE array (Fig. 13).
+    """Word-level simulation of layers on the PE array (Fig. 13).
 
     Drives packed IFMem words through PE-sets against distributed WPMems,
-    enforcing every memory's two-port budget.  Used by tests and the
-    pipeline example; sampled weights are supplied explicitly so results
-    can be compared bit for bit with the vectorised datapath.
+    enforcing every memory's two-port budget.  Sampled weights are
+    supplied explicitly so results can be compared bit for bit with the
+    vectorised datapath.
+
+    Two execution granularities share the datapath definition:
+
+    * :meth:`run_layer` / :meth:`run_network` — the word-by-word,
+      per-image reference: every cycle is one Python iteration driving
+      :class:`~repro.hw.pe.PeSet` objects and scalar pack/unpack.
+    * :meth:`run_layer_batch` / :meth:`run_network_batch` — array-level
+      lockstep kernels: all (passes × images × sets × S PEs) of a group
+      run as one stacked contraction
+      (:func:`~repro.hw.pe.stacked_accumulate`), words move through the
+      memories in blocks that preserve the two-port budget and aggregate
+      cycle accounting, and packing is vectorised.  Bit-identical to the
+      per-image loop — the functional-equivalence proof of §5 at
+      real-digits-scale image counts.
     """
 
     def __init__(self, config: ArchitectureConfig) -> None:
@@ -284,6 +298,183 @@ class DetailedDatapathSimulator:
         last = len(sampled_layers) - 1
         for index, (weights, biases) in enumerate(sampled_layers):
             hidden = self.run_layer(
+                hidden, weights, biases, apply_relu=(index != last)
+            )
+        return hidden
+
+    # ------------------------------------------------------------------
+    # Batched (array-level lockstep) path
+    # ------------------------------------------------------------------
+    def run_layer_batch(
+        self,
+        feature_codes: np.ndarray,
+        weight_codes: np.ndarray,
+        bias_codes: np.ndarray,
+        *,
+        apply_relu: bool,
+    ) -> np.ndarray:
+        """One layer for a whole (passes × images) run batch.
+
+        ``feature_codes``: ``(batch, in)`` activation codes shared across
+        passes (the input layer) or ``(passes, batch, in)`` per-pass codes
+        (hidden layers); ``weight_codes``: ``(passes, in, out)``;
+        ``bias_codes``: ``(passes, out)`` at accumulator precision.
+        Returns ``(passes, batch, out)`` activation codes, with element
+        ``[p, b]`` bit-identical to
+        ``run_layer(features[b], weights[p], biases[p])``.
+
+        The memory models are driven per run at block granularity
+        (:meth:`~repro.hw.memory.DualPortRam.read_block`), so every
+        RAM's aggregate ``cycles``/``total_reads``/port-conflict
+        behaviour — and this simulator's :attr:`cycles` — is identical to
+        running the per-image loop over the batch; the arithmetic runs as
+        one stacked contraction over the words actually read back.
+        """
+        config = self.config
+        weight_codes = np.asarray(weight_codes, dtype=np.int64)
+        bias_codes = np.asarray(bias_codes, dtype=np.int64)
+        feature_codes = np.asarray(feature_codes, dtype=np.int64)
+        if weight_codes.ndim != 3:
+            raise ConfigurationError(
+                f"weight_codes must be (passes, in, out), got {weight_codes.shape}"
+            )
+        passes, in_features, out_features = weight_codes.shape
+        if bias_codes.shape != (passes, out_features):
+            raise ConfigurationError(
+                f"bias shape {bias_codes.shape} does not match "
+                f"({passes}, {out_features})"
+            )
+        shared = feature_codes.ndim == 2
+        if feature_codes.ndim not in (2, 3) or feature_codes.shape[-1] != in_features or (
+            not shared and feature_codes.shape[0] != passes
+        ):
+            raise ConfigurationError(
+                f"feature shape {feature_codes.shape} does not match "
+                f"{passes} passes of {in_features} features"
+            )
+        batch = feature_codes.shape[-2]
+        bits = config.bit_length
+        n = config.pe_inputs
+        s = config.pes_per_set
+        t_sets = config.pe_sets
+        m = config.total_pes
+        iterations = math.ceil(in_features / n)
+        groups = math.ceil(out_features / m)
+        padded_in = iterations * n
+        # ---- vectorised packing of every word the memories will serve.
+        flat_features = feature_codes.reshape(-1, in_features)
+        padded_features = np.zeros((flat_features.shape[0], padded_in), dtype=np.int64)
+        padded_features[:, :in_features] = flat_features
+        feature_words = pack_words(padded_features.reshape(-1, n), bits).reshape(
+            flat_features.shape[0], iterations
+        )
+        padded_weights = np.zeros((passes, padded_in, groups * m), dtype=np.int64)
+        padded_weights[:, :in_features, :out_features] = weight_codes
+        # Word layout per set: S PEs x N inputs, PE-major (run_layer's
+        # block.T.reshape(-1)) at address group * iterations + iteration.
+        fields = padded_weights.reshape(
+            passes, iterations, n, groups, t_sets, s
+        ).transpose(0, 4, 3, 1, 5, 2)
+        weight_words = pack_words(fields.reshape(-1, s * n), bits).reshape(
+            passes, t_sets, groups * iterations
+        )
+        padded_bias = np.zeros((passes, groups * m), dtype=np.int64)
+        padded_bias[:, :out_features] = bias_codes
+        # ---- drive the memories run by run at block granularity.  One
+        # memory instance serves the whole batch; its totals equal the sum
+        # over the per-image loop's fresh-per-run instances.
+        ifmem = DoubleBufferedMemory(
+            depth=max(iterations, groups * t_sets),
+            width_bits=config.ifmem_word_bits,
+        )
+        wpmem = WeightParameterMemory(
+            pe_sets=t_sets,
+            depth=max(1, groups * iterations),
+            word_bits=config.wpmem_word_bits,
+        )
+        read_addresses = np.arange(iterations, dtype=np.int64)
+        got_features = np.empty_like(feature_words)
+        got_weights = np.empty_like(weight_words)
+        for p in range(passes):
+            for t in range(t_sets):
+                wpmem.load_set(t, weight_words[p, t])
+            for b in range(batch):
+                row = b if shared else p * batch + b
+                ifmem.read_buffer.load(feature_words[row])
+                for g in range(groups):
+                    words = ifmem.read_block(read_addresses)
+                    if g == 0 and (p == 0 or not shared):
+                        got_features[row] = words
+                    set_words = wpmem.read_set_blocks(
+                        g * iterations + read_addresses
+                    )
+                    if b == 0:
+                        got_weights[
+                            p, :, g * iterations : (g + 1) * iterations
+                        ] = set_words
+        # ---- unpack the words read back and run the stacked MAC/finish.
+        f_codes = unpack_words(got_features.reshape(-1), bits, n).reshape(
+            flat_features.shape[0], padded_in
+        )
+        w_fields = unpack_words(got_weights.reshape(-1), bits, s * n)
+        w_full = w_fields.reshape(
+            passes, t_sets, groups, iterations, s, n
+        ).transpose(0, 3, 5, 2, 1, 4).reshape(passes, padded_in, groups * m)
+        f_shaped = f_codes if shared else f_codes.reshape(passes, batch, padded_in)
+        acc = stacked_accumulate(f_shaped, w_full, bits)
+        acc_frac = self.weight_fmt.frac_bits + self.act_fmt.frac_bits
+        outputs = stacked_finish(
+            acc,
+            padded_bias[:, None, :],
+            acc_frac,
+            self.act_fmt,
+            apply_relu=apply_relu,
+        )
+        # ---- memory-distributor drain: one packed word per (group, set).
+        out_words = pack_words(outputs.reshape(-1, s), bits).reshape(
+            passes, batch, groups * t_sets
+        )
+        write_addresses = np.arange(groups * t_sets, dtype=np.int64)
+        for p in range(passes):
+            for b in range(batch):
+                ifmem.write_block(write_addresses, out_words[p, b])
+                wpmem.advance(groups * t_sets)
+        self.cycles += passes * batch * groups * (iterations + t_sets)
+        return outputs[:, :, :out_features]
+
+    def run_network_batch(
+        self,
+        network: QuantizedBayesianNetwork,
+        feature_codes: np.ndarray,
+        n_samples: int,
+    ) -> np.ndarray:
+        """Push a whole image batch × MC passes through the detailed model.
+
+        ``network`` supplies the sampled weights through the code-block
+        seam (:meth:`~repro.bnn.quantized.QuantizedBayesianNetwork.sample_weight_stacks`
+        draws one epsilon block for all passes); ``feature_codes`` is the
+        ``(batch, in)`` activation-code image batch.  Returns logits
+        codes of shape ``(n_samples, batch, out)``, bit-identical both to
+        the per-image :meth:`run_network` loop over the same weight
+        stacks and to ``network.forward_stacked_codes`` on an identically
+        seeded network — the §5-computes-eq.(6) equivalence at scale.
+        """
+        if network.bit_length != self.config.bit_length:
+            raise ConfigurationError(
+                f"network bit_length {network.bit_length} does not match "
+                f"config bit_length {self.config.bit_length}"
+            )
+        feature_codes = np.asarray(feature_codes, dtype=np.int64)
+        if feature_codes.ndim != 2 or feature_codes.shape[1] != network.layer_sizes[0]:
+            raise ConfigurationError(
+                f"expected codes of shape (batch, {network.layer_sizes[0]}), "
+                f"got {feature_codes.shape}"
+            )
+        sampled = network.sample_weight_stacks(n_samples)
+        hidden = feature_codes
+        last = len(sampled) - 1
+        for index, (weights, biases) in enumerate(sampled):
+            hidden = self.run_layer_batch(
                 hidden, weights, biases, apply_relu=(index != last)
             )
         return hidden

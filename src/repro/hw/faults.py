@@ -7,10 +7,23 @@ corrupts the feedback stream — while a stuck Wallace pool entry keeps
 re-entering the orthogonal mixing.  These injectors let the test suite and
 benches quantify the degradation and check that quality metrics *detect*
 the faults (a silent-corruption check for the quality suite itself).
+
+Both injectors run windowed: stuck-row re-pinning is folded into the
+block kernels of the clean generators (:class:`~repro.grng.rlf.RlfWindowKernel`
+for the RLF SeMem, :meth:`~repro.grng.bnnwallace.BnnWallaceGrng._batch_cycles`
+for the Wallace pools), with the window additionally bounded by the first
+write landing on a stuck row.  Up to that write every per-cycle re-pin is
+a no-op (a pinned row only changes value when written), so pinning once at
+the window start and once after the cut reproduces the per-cycle loop bit
+for bit — state, incremental counts and emitted codes.  The per-cycle
+loops are kept as tested references
+(:meth:`FaultyRlfGrng.generate_codes_loop`,
+:meth:`FaultyBnnWallaceGrng.generate_loop`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +40,7 @@ class StuckAtFault:
     """One stuck-at fault: a memory location pinned to a value."""
 
     location: int
-    value: float  # 0/1 for bit memories; any float for Wallace pools
+    value: float  # 0/1 for bit memories; any finite float for Wallace pools
 
 
 class FaultyRlfGrng(Grng):
@@ -53,6 +66,9 @@ class FaultyRlfGrng(Grng):
             if fault.value not in (0, 1):
                 raise ConfigurationError("SeMem faults must pin to 0 or 1")
         self.faults = list(faults)
+        self._stuck_rows = np.array(
+            sorted({fault.location for fault in faults}), dtype=np.int64
+        )
 
     def _apply_faults(self) -> None:
         grng = self._grng
@@ -63,7 +79,39 @@ class FaultyRlfGrng(Grng):
             grng.state[fault.location] = int(fault.value)
 
     def generate_codes(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        """Windowed path: stuck-row re-pinning folded into the block kernel.
+
+        Bit-exact with :meth:`generate_codes_loop` (state, counts, codes):
+        pins are applied at every window start, and each window ends no
+        later than the first tap write onto a stuck row — the only event
+        that makes an intermediate per-cycle pin observable.
+        """
+        count = self._check_count(count)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        grng = self._grng
+        kernel = grng._kernel
+        lanes = grng.lanes
+        cycles = -(-count // lanes)
+        raw = np.empty((cycles, lanes), dtype=np.int64)
+        done = 0
+        while done < cycles:
+            self._apply_faults()
+            window = min(kernel.window_max, cycles - done)
+            if self._stuck_rows.size:
+                window = kernel.cycles_until_write(
+                    grng.head, self._stuck_rows, window
+                )
+            block, grng.head = kernel.advance(
+                grng.state, grng.counts, grng.head, window
+            )
+            raw[done : done + window] = block
+            done += window
+        return grng._multiplex_block(raw).reshape(-1)[:count]
+
+    def generate_codes_loop(self, count: int) -> np.ndarray:
+        """Per-cycle reference: re-pin the stuck rows before every read."""
+        count = self._check_count(count)
         if count == 0:
             return np.empty(0, dtype=np.int64)
         lanes = self._grng.lanes
@@ -86,7 +134,9 @@ class FaultyBnnWallaceGrng(Grng):
     A stuck entry keeps feeding the same value into every transform that
     reads it; because the transform is orthogonal and energy-preserving,
     a large stuck value inflates the output variance persistently — the
-    signature the quality suite must catch.
+    signature the quality suite must catch.  Pin values must be finite:
+    a NaN/inf pin would poison every downstream quality metric with no
+    signal, so it is rejected at construction.
     """
 
     def __init__(
@@ -102,14 +152,51 @@ class FaultyBnnWallaceGrng(Grng):
                 raise ConfigurationError(
                     f"fault location {fault.location} outside pool size {pool_size}"
                 )
+            if not math.isfinite(fault.value):
+                raise ConfigurationError(
+                    f"pool fault values must be finite, got {fault.value!r} "
+                    f"at location {fault.location}"
+                )
         self.faults = list(faults)
+        self._stuck_slots = np.array(
+            sorted({fault.location for fault in faults}), dtype=np.int64
+        )
 
     def _apply_faults(self) -> None:
         for fault in self.faults:
             self._grng.pools[0, fault.location] = fault.value
 
     def generate(self, count: int) -> np.ndarray:
-        self._check_count(count)
+        """Windowed path, bit-exact with :meth:`generate_loop`.
+
+        Rides the clean generator's non-wrapping batch window, further
+        bounded by the first cycle whose write-back slots include a stuck
+        pool entry (within a window reads sit strictly ahead of writes,
+        so until that cycle every per-cycle re-pin is a no-op).
+        """
+        count = self._check_count(count)
+        if count == 0:
+            return np.empty(0)
+        grng = self._grng
+        per_cycle = grng.units * 4
+        cycles = -(-count // per_cycle)
+        rows: list[np.ndarray] = []
+        done = 0
+        while done < cycles:
+            self._apply_faults()
+            k = grng._window_cycles(cycles - done, avoid_slots=self._stuck_slots)
+            if k < 1:
+                # Slot window wraps around the pool edge: single-cycle path.
+                rows.append(grng.step()[None, :])
+                done += 1
+                continue
+            rows.append(grng._batch_cycles(k))
+            done += k
+        return np.concatenate(rows).reshape(-1)[:count]
+
+    def generate_loop(self, count: int) -> np.ndarray:
+        """Per-cycle reference: re-pin the stuck entries before every cycle."""
+        count = self._check_count(count)
         if count == 0:
             return np.empty(0)
         per_cycle = self._grng.units * 4
@@ -124,11 +211,19 @@ class FaultyBnnWallaceGrng(Grng):
 def random_seu_faults(
     count: int, depth: int, seed: int = 0, *, binary: bool = True
 ) -> list[StuckAtFault]:
-    """Random single-event-upset style stuck-at faults over ``depth`` rows."""
+    """Random single-event-upset style stuck-at faults over ``depth`` rows.
+
+    Locations are distinct, so ``count`` may not exceed ``depth`` — a
+    larger request raises instead of silently capping the fault load.
+    """
     if count < 0 or depth < 1:
         raise ConfigurationError("count must be >= 0 and depth >= 1")
+    if count > depth:
+        raise ConfigurationError(
+            f"cannot place {count} distinct faults over {depth} rows"
+        )
     rng = spawn_generator(seed, "seu-faults")
-    locations = rng.choice(depth, size=min(count, depth), replace=False)
+    locations = rng.choice(depth, size=count, replace=False)
     return [
         StuckAtFault(
             location=int(loc),

@@ -99,6 +99,81 @@ class DualPortRam:
         self.cycles += 1
         self._accesses_this_cycle = 0
 
+    # ------------------------------------------------------------------
+    # Block operations: one word per cycle, accounted in aggregate
+    # ------------------------------------------------------------------
+    def _check_block_addresses(self, addresses) -> np.ndarray:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.ndim != 1:
+            raise MemoryAccessError(
+                f"{self.name}: block addresses must be 1-D, got shape {addresses.shape}"
+            )
+        if addresses.size and (
+            addresses.min() < 0 or addresses.max() >= self.depth
+        ):
+            raise MemoryAccessError(
+                f"{self.name}: block address outside 0..{self.depth - 1}"
+            )
+        return addresses
+
+    def read_block(self, addresses) -> np.ndarray:
+        """Read one word per cycle; equivalent to ``read(a); tick()`` per address.
+
+        The first word counts against the *current* cycle's remaining port
+        budget (so a block issued into a saturated cycle raises
+        :class:`~repro.errors.MemoryPortConflictError`, exactly like the
+        word-by-word loop); each subsequent word occupies a fresh cycle.
+        Aggregate ``cycles``/``total_reads`` accounting is identical to the
+        loop, including the trailing tick after the last word.
+        """
+        addresses = self._check_block_addresses(addresses)
+        if addresses.size == 0:
+            return np.empty(0, dtype=object)
+        self._use_port()
+        words = self._words[addresses]
+        self.total_reads += addresses.size
+        self.cycles += addresses.size
+        self._accesses_this_cycle = 0
+        return words
+
+    def write_block(self, addresses, values) -> None:
+        """Write one word per cycle; equivalent to ``write(a, v); tick()`` pairs.
+
+        Same aggregate accounting contract as :meth:`read_block`.
+        """
+        addresses = self._check_block_addresses(addresses)
+        values = np.asarray(values, dtype=object)
+        if values.shape != addresses.shape:
+            raise MemoryAccessError(
+                f"{self.name}: {values.shape[0] if values.ndim else 0} values "
+                f"for {addresses.size} addresses"
+            )
+        if addresses.size == 0:
+            return
+        limit = 1 << self.width_bits
+        if np.any((values < 0) | (values >= limit)):
+            raise MemoryAccessError(
+                f"{self.name}: block value does not fit in {self.width_bits} bits"
+            )
+        self._use_port()
+        self._words[addresses] = values
+        self.total_writes += addresses.size
+        self.cycles += addresses.size
+        self._accesses_this_cycle = 0
+
+    def advance(self, cycles: int) -> None:
+        """Bulk :meth:`tick`: idle this memory for ``cycles`` cycles.
+
+        Used to keep peers in lockstep while another memory runs a block
+        operation (the word-by-word schedules tick every memory each
+        cycle, busy or not).
+        """
+        if cycles < 0:
+            raise ConfigurationError(f"cycles must be >= 0, got {cycles}")
+        if cycles:
+            self.cycles += cycles
+            self._accesses_this_cycle = 0
+
 
 class Rom:
     """Read-only memory, preloaded at construction (no port limits modelled)."""
@@ -153,6 +228,22 @@ class DoubleBufferedMemory:
         for buffer in self._buffers:
             buffer.tick()
 
+    def read_block(self, addresses) -> np.ndarray:
+        """Block read from the read buffer, idling the write buffer in lockstep.
+
+        Aggregate accounting on *both* buffers matches a
+        ``read_buffer.read(a); tick()`` loop (``tick`` advances both).
+        """
+        words = self.read_buffer.read_block(addresses)
+        self.write_buffer.advance(len(words))
+        return words
+
+    def write_block(self, addresses, values) -> None:
+        """Block write to the write buffer, idling the read buffer in lockstep."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self.write_buffer.write_block(addresses, values)
+        self.read_buffer.advance(addresses.size)
+
     @property
     def capacity_bits(self) -> int:
         return sum(buffer.capacity_bits for buffer in self._buffers)
@@ -187,6 +278,24 @@ class WeightParameterMemory:
     def tick(self) -> None:
         for memory in self.memories:
             memory.tick()
+
+    def read_set_blocks(self, addresses) -> np.ndarray:
+        """Every set block-reads the same address sequence in lockstep.
+
+        Returns a ``(pe_sets, len(addresses))`` object array; each set's
+        memory carries the same aggregate accounting as a
+        ``read_set_word``-per-cycle loop over ``addresses``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        out = np.empty((len(self.memories), addresses.size), dtype=object)
+        for set_index, memory in enumerate(self.memories):
+            out[set_index] = memory.read_block(addresses)
+        return out
+
+    def advance(self, cycles: int) -> None:
+        """Idle every set memory for ``cycles`` cycles (lockstep bulk tick)."""
+        for memory in self.memories:
+            memory.advance(cycles)
 
     @property
     def capacity_bits(self) -> int:

@@ -4,13 +4,32 @@ IFMem words carry ``N`` B-bit activation codes; WPMem words carry
 ``N * S`` B-bit parameter codes.  Signed codes are stored offset-binary
 (two's complement within the field), LSB-first fields — field ``i``
 occupies bits ``[i*B, (i+1)*B)``.
+
+Two granularities share one layout definition:
+
+* :func:`pack_word` / :func:`unpack_word` — one word at a time, the
+  bit-exact reference the detailed simulator's per-image path uses.
+* :func:`pack_words` / :func:`unpack_words` — whole arrays of words at
+  once.  Per-word Python-int shifting dominates the detailed datapath's
+  profile (a WPMem word holds ``N * S`` fields, so the scalar functions
+  pay ``N * S`` Python-level shifts per word); the vectorised forms
+  expand fields to a bit matrix with NumPy and cross the NumPy/Python-int
+  boundary exactly once per word (``int.from_bytes`` / ``int.to_bytes``).
 """
 
 from __future__ import annotations
 
+import operator
+
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Field widths the vectorised pack/unpack accept.  The bit-matrix path
+#: weights bit columns with ``1 << np.arange(bits)`` int64 powers and
+#: sign-extends with a ``1 << bits`` subtraction, both of which need the
+#: field (plus its sign) to fit an int64 lane.
+MAX_VECTOR_FIELD_BITS = 62
 
 
 def pack_word(codes: np.ndarray, bits: int) -> int:
@@ -45,3 +64,98 @@ def unpack_word(word: int, bits: int, count: int) -> np.ndarray:
         field = (word >> (index * bits)) & mask
         out[index] = field - (1 << bits) if field & sign_bit else field
     return out
+
+
+def _check_vector_bits(bits: int) -> None:
+    if bits < 2:
+        raise ConfigurationError(f"bits must be >= 2, got {bits}")
+    if bits > MAX_VECTOR_FIELD_BITS:
+        raise ConfigurationError(
+            f"vectorised packing supports bits <= {MAX_VECTOR_FIELD_BITS}, got {bits}"
+        )
+
+
+def pack_words(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`pack_word` over rows of a ``(n_words, count)`` array.
+
+    Returns an object array of ``n_words`` Python-int words, element ``i``
+    identical to ``pack_word(codes[i], bits)``.  The field expansion runs
+    as one NumPy bit-matrix pass; only the final byte-to-int conversion is
+    per word.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 2:
+        raise ConfigurationError(
+            f"codes must be 2-D (n_words, count), got shape {codes.shape}"
+        )
+    _check_vector_bits(bits)
+    n_words, count = codes.shape
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if n_words == 0:
+        return np.empty(0, dtype=object)
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if codes.min() < low or codes.max() > high:
+        raise ConfigurationError(
+            f"codes outside signed {bits}-bit range [{low}, {high}]"
+        )
+    fields = (codes & ((1 << bits) - 1)).astype(np.uint64)
+    bit_matrix = (
+        (fields[:, :, None] >> np.arange(bits, dtype=np.uint64)) & 1
+    ).astype(np.uint8)
+    packed = np.packbits(
+        bit_matrix.reshape(n_words, count * bits), axis=1, bitorder="little"
+    )
+    n_bytes = packed.shape[1]
+    buffer = packed.tobytes()
+    out = np.empty(n_words, dtype=object)
+    for index in range(n_words):
+        out[index] = int.from_bytes(
+            buffer[index * n_bytes : (index + 1) * n_bytes], "little"
+        )
+    return out
+
+
+def unpack_words(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Vectorised :func:`unpack_word`: ``(n_words,)`` words to ``(n_words, count)``.
+
+    Row ``i`` is identical to ``unpack_word(words[i], bits, count)``.  The
+    per-word cost is one mask and one ``int.to_bytes``; field extraction
+    and sign extension run as NumPy passes over the whole block.
+    """
+    _check_vector_bits(bits)
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    words = np.asarray(words, dtype=object)
+    if words.ndim != 1:
+        raise ConfigurationError(
+            f"words must be 1-D, got shape {words.shape}"
+        )
+    if words.shape[0] == 0:
+        return np.empty((0, count), dtype=np.int64)
+    total_bits = count * bits
+    n_bytes = (total_bits + 7) // 8
+    # Bits past the last field are ignored, exactly as unpack_word's
+    # shift-and-mask loop never touches them.
+    word_mask = (1 << total_bits) - 1
+    try:
+        if any(word < 0 for word in words):
+            raise ConfigurationError(
+                f"word must be non-negative, got {min(words)}"
+            )
+        # operator.index rejects floats and other non-integral types, the
+        # same TypeError surface the scalar unpack_word's shifts have.
+        buffer = b"".join(
+            (operator.index(word) & word_mask).to_bytes(n_bytes, "little")
+            for word in words
+        )
+    except TypeError:
+        raise ConfigurationError("words must be integers") from None
+    flat = np.frombuffer(buffer, dtype=np.uint8).reshape(words.shape[0], n_bytes)
+    bit_matrix = np.unpackbits(flat, axis=1, bitorder="little")[:, :total_bits]
+    weights = (np.int64(1) << np.arange(bits, dtype=np.int64))
+    fields = (
+        bit_matrix.reshape(words.shape[0], count, bits).astype(np.int64) @ weights
+    )
+    sign_bit = 1 << (bits - 1)
+    return np.where(fields >= sign_bit, fields - (1 << bits), fields)

@@ -26,6 +26,77 @@ from repro.fixedpoint import QFormat, requantize
 PE_PIPELINE_STAGES = 3
 
 
+def stacked_accumulate(
+    features: np.ndarray, weights: np.ndarray, bit_length: int
+) -> np.ndarray:
+    """All runs' MAC-tree accumulations as one lockstep tensor contraction.
+
+    ``weights`` is ``(passes, K, out)`` weight codes; ``features`` is
+    ``(batch, K)`` activation codes shared across passes (a layer fed by
+    the image batch) or ``(passes, batch, K)`` per-pass codes (a hidden
+    layer).  Returns the ``(passes, batch, out)`` wide accumulators —
+    element ``[p, b, o]`` exactly equals what one
+    :class:`ProcessingElement` accumulates for neuron ``o`` of run
+    ``(p, b)`` over all its iterations.
+
+    Uses the same mantissa-fit float64-GEMM trick as
+    :meth:`repro.bnn.quantized.QuantizedBayesianNetwork.forward_stacked_codes`:
+    each product of two signed ``B``-bit codes is bounded by
+    ``2**(2B - 2)``, so when ``K * 2**(2B - 2) < 2**53`` every partial sum
+    fits a float64 mantissa and BLAS computes the exact integers.  Wider
+    datapaths fall back to an object-dtype (Python-int) contraction — the
+    same unbounded accumulator a :class:`ProcessingElement` carries, so
+    batched-vs-per-image equivalence holds even where int64 would wrap.
+    In that wide-bit regime two caveats mirror the scalar PE exactly:
+    agreement with the *functional* model
+    (:class:`~repro.bnn.quantized.QuantizedBayesianNetwork`, whose wide
+    fallback is a wrapping int64 matmul) is only guaranteed while no
+    accumulator exceeds int64, and accumulators beyond int64 make the
+    downstream :func:`~repro.fixedpoint.requantize` raise — the same
+    ``OverflowError`` :meth:`ProcessingElement.finish` produces.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    features = np.asarray(features, dtype=np.int64)
+    if weights.ndim != 3:
+        raise ConfigurationError(
+            f"weights must be (passes, K, out), got shape {weights.shape}"
+        )
+    if features.ndim not in (2, 3) or features.shape[-1] != weights.shape[1]:
+        raise ConfigurationError(
+            f"features shape {features.shape} does not match weights "
+            f"shape {weights.shape}"
+        )
+    if features.ndim == 3 and features.shape[0] != weights.shape[0]:
+        raise ConfigurationError(
+            f"features carry {features.shape[0]} passes, weights "
+            f"{weights.shape[0]}"
+        )
+    k = weights.shape[1]
+    if k * (1 << (bit_length - 1)) ** 2 < 2**53:
+        acc = features.astype(np.float64) @ weights.astype(np.float64)
+        return acc.astype(np.int64)
+    return (features.astype(object) @ weights.astype(object))
+
+
+def stacked_finish(
+    accumulators: np.ndarray,
+    bias_acc_codes: np.ndarray,
+    acc_frac_bits: int,
+    act_fmt: QFormat,
+    *,
+    apply_relu: bool,
+) -> np.ndarray:
+    """Vectorised :meth:`ProcessingElement.finish` over a whole stack.
+
+    ``bias_acc_codes`` (broadcastable against ``accumulators``) carries
+    ``acc_frac_bits`` fractional bits; the wide bias add, single rounding
+    shift and optional ReLU are the exact per-PE operations, batched.
+    """
+    wide = np.asarray(accumulators) + np.asarray(bias_acc_codes)
+    out = requantize(wide, acc_frac_bits, act_fmt)
+    return np.maximum(out, 0) if apply_relu else out
+
+
 class ProcessingElement:
     """One N-input PE with a wide internal accumulator.
 

@@ -12,6 +12,14 @@ cycles).
 The tokens carry no data — functional correctness is covered by
 :class:`repro.hw.accelerator.DetailedDatapathSimulator`; this model is
 about *when*, not *what*.
+
+Two fidelities of the same model:
+
+* :func:`simulate_layer_pipeline` — the per-cycle while-loop reference.
+* :func:`closed_form_layer_pipeline` — the fill + stall algebra, exactly
+  equal to the loop (tested across a grid of ``stall_every`` values) and
+  O(1), so occupancy studies over large design/stall grids don't pay a
+  Python cycle loop per point.
 """
 
 from __future__ import annotations
@@ -112,4 +120,35 @@ def simulate_layer_pipeline(
         cycles=cycles,
         stall_cycles=stall_cycles,
         stage_busy_cycles=busy,
+    )
+
+
+def closed_form_layer_pipeline(
+    config: ArchitectureConfig,
+    layer: LayerSchedule,
+    *,
+    stall_every: int = 0,
+) -> PipelineReport:
+    """Closed-form :func:`simulate_layer_pipeline`, exact for every input.
+
+    The while-loop's behaviour collapses to fill + stall algebra:
+
+    * every token passes each stage exactly once (no structural hazards),
+      so each stage is busy for exactly ``operations`` cycles;
+    * one bubble is inserted after every ``stall_every`` issues *while
+      issues remain*, so ``stalls = (operations - 1) // stall_every``;
+    * the last token issues at cycle ``operations + stalls`` and retires
+      ``PIPELINE_DEPTH`` cycles later, which is also when the loop exits.
+    """
+    if stall_every < 0:
+        raise ConfigurationError(f"stall_every must be >= 0, got {stall_every}")
+    operations = layer.compute_cycles
+    if operations < 1:
+        raise ConfigurationError("layer has no compute operations")
+    stall_cycles = (operations - 1) // stall_every if stall_every else 0
+    return PipelineReport(
+        operations=operations,
+        cycles=operations + stall_cycles + PIPELINE_DEPTH,
+        stall_cycles=stall_cycles,
+        stage_busy_cycles={name: operations for name in STAGE_NAMES},
     )

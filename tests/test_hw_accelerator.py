@@ -17,7 +17,7 @@ from repro.bnn import BayesianNetwork
 from repro.bnn.quantized import QuantizedBayesianNetwork
 from repro.errors import ConfigurationError
 from repro.fixedpoint import requantize
-from repro.grng import BnnWallaceGrng, ParallelRlfGrng
+from repro.grng import BnnWallaceGrng, GrngStream, ParallelRlfGrng
 from repro.hw.accelerator import (
     DetailedDatapathSimulator,
     VibnnAccelerator,
@@ -86,6 +86,103 @@ class TestDetailedDatapath:
             x = a_fmt.quantize(rng.uniform(0, 1, 12))
             sim.run_layer(x, w, b, apply_relu=True)
         assert sim.cycles > 0
+
+
+class TestBatchedDetailedDatapath:
+    def _random_layer(self, rng, passes, batch, in_f, out_f, *, shared):
+        w_fmt = SMALL_CFG.weight_format
+        a_fmt = SMALL_CFG.activation_format
+        acc_frac = w_fmt.frac_bits + a_fmt.frac_bits
+        weights = w_fmt.quantize(rng.uniform(-0.9, 0.9, (passes, in_f, out_f)))
+        biases = np.round(
+            rng.uniform(-0.5, 0.5, (passes, out_f)) * (1 << acc_frac)
+        ).astype(np.int64)
+        shape = (batch, in_f) if shared else (passes, batch, in_f)
+        features = a_fmt.quantize(rng.uniform(0, 1, shape))
+        return features, weights, biases
+
+    @pytest.mark.parametrize("shared", [True, False])
+    @pytest.mark.parametrize("in_f,out_f", [(4, 4), (10, 9), (16, 8), (7, 17)])
+    def test_layer_batch_matches_per_run_loop(self, shared, in_f, out_f):
+        rng = np.random.default_rng(5)
+        passes, batch = 3, 4
+        features, weights, biases = self._random_layer(
+            rng, passes, batch, in_f, out_f, shared=shared
+        )
+        sim_batch = DetailedDatapathSimulator(SMALL_CFG)
+        got = sim_batch.run_layer_batch(features, weights, biases, apply_relu=True)
+        assert got.shape == (passes, batch, out_f)
+        sim_loop = DetailedDatapathSimulator(SMALL_CFG)
+        for p in range(passes):
+            for b in range(batch):
+                row = features[b] if shared else features[p, b]
+                want = sim_loop.run_layer(
+                    row, weights[p], biases[p], apply_relu=True
+                )
+                assert (got[p, b] == want).all(), (p, b)
+        # Aggregate cycle accounting identical to the per-run loop.
+        assert sim_batch.cycles == sim_loop.cycles
+
+    def test_network_batch_matches_loop_and_functional(self):
+        posterior, sizes = _tiny_posterior()
+        x = np.random.default_rng(6).uniform(0, 1, (5, sizes[0]))
+        for kind, make in [
+            ("rlf", lambda: GrngStream(ParallelRlfGrng(lanes=8, seed=2))),
+            ("bnnwallace", lambda: GrngStream(BnnWallaceGrng(units=4, pool_size=64, seed=2))),
+        ]:
+            nets = [
+                QuantizedBayesianNetwork(posterior, bit_length=8, grng=make(), seed=2)
+                for _ in range(3)
+            ]
+            x_codes = nets[0].act_fmt.quantize(x)
+            n_samples = 3
+            sim_batch = DetailedDatapathSimulator(SMALL_CFG)
+            batched = sim_batch.run_network_batch(nets[0], x_codes, n_samples)
+            sampled = nets[1].sample_weight_stacks(n_samples)
+            sim_loop = DetailedDatapathSimulator(SMALL_CFG)
+            for p in range(n_samples):
+                per_pass = [(w[p], b[p]) for w, b in sampled]
+                for image in range(x_codes.shape[0]):
+                    want = sim_loop.run_network(x_codes[image], per_pass)
+                    assert (batched[p, image] == want).all(), (kind, p, image)
+            assert sim_batch.cycles == sim_loop.cycles, kind
+            functional = nets[2].forward_stacked_codes(x_codes, n_samples)
+            assert (batched == functional).all(), kind
+
+    def test_validation(self):
+        sim = DetailedDatapathSimulator(SMALL_CFG)
+        with pytest.raises(ConfigurationError):
+            sim.run_layer_batch(
+                np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((3, 2)), apply_relu=True
+            )  # 2-D weights
+        with pytest.raises(ConfigurationError):
+            sim.run_layer_batch(
+                np.zeros((2, 5)),
+                np.zeros((3, 4, 2)),
+                np.zeros((3, 2)),
+                apply_relu=True,
+            )  # feature width mismatch
+        with pytest.raises(ConfigurationError):
+            sim.run_layer_batch(
+                np.zeros((2, 2, 4)),
+                np.zeros((3, 4, 2)),
+                np.zeros((3, 2)),
+                apply_relu=True,
+            )  # pass-count mismatch
+        with pytest.raises(ConfigurationError):
+            sim.run_layer_batch(
+                np.zeros((2, 4)),
+                np.zeros((3, 4, 2)),
+                np.zeros((3, 3)),
+                apply_relu=True,
+            )  # bias mismatch
+        posterior, sizes = _tiny_posterior()
+        network = QuantizedBayesianNetwork(posterior, bit_length=4)
+        with pytest.raises(ConfigurationError):
+            sim.run_network_batch(network, np.zeros((2, sizes[0]), dtype=np.int64), 2)
+        network8 = QuantizedBayesianNetwork(posterior, bit_length=8)
+        with pytest.raises(ConfigurationError):
+            sim.run_network_batch(network8, np.zeros(sizes[0], dtype=np.int64), 2)
 
 
 class TestVibnnAccelerator:

@@ -47,6 +47,22 @@ class TestFaultyRlf:
         grng.generate_codes(80)
         assert (grng._grng.counts == grng._grng.state.sum(axis=0)).all()
 
+    @pytest.mark.parametrize("n_faults", [0, 1, 4])
+    def test_windowed_matches_per_cycle_reference(self, n_faults):
+        faults = random_seu_faults(n_faults, depth=255, seed=11)
+        windowed = FaultyRlfGrng(faults, lanes=16, seed=4)
+        loop = FaultyRlfGrng(faults, lanes=16, seed=4)
+        # Several draw sizes, including sub-lane and multi-window ones, so
+        # cross-call state carry-over is covered too.
+        for count in (160, 7, 2000, 1):
+            assert (
+                windowed.generate_codes(count) == loop.generate_codes_loop(count)
+            ).all()
+        assert (windowed._grng.state == loop._grng.state).all()
+        assert (windowed._grng.counts == loop._grng.counts).all()
+        assert windowed._grng.head == loop._grng.head
+        assert windowed._grng.cycle == loop._grng.cycle
+
 
 class TestFaultyWallace:
     def test_location_validation(self):
@@ -64,6 +80,24 @@ class TestFaultyWallace:
         faulty = FaultyBnnWallaceGrng([], units=4, pool_size=64, seed=1).generate(256)
         clean = BnnWallaceGrng(units=4, pool_size=64, seed=1).generate(256)
         assert np.allclose(faulty, clean)
+
+    def test_non_finite_pin_values_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                FaultyBnnWallaceGrng([StuckAtFault(0, bad)], pool_size=64)
+
+    @pytest.mark.parametrize("n_faults", [0, 1, 4])
+    def test_windowed_matches_per_cycle_reference(self, n_faults):
+        faults = random_seu_faults(n_faults, depth=64, seed=13, binary=False)
+        windowed = FaultyBnnWallaceGrng(faults, units=4, pool_size=64, seed=5)
+        loop = FaultyBnnWallaceGrng(faults, units=4, pool_size=64, seed=5)
+        for count in (256, 9, 3000, 1):
+            assert np.array_equal(
+                windowed.generate(count), loop.generate_loop(count)
+            )
+        assert np.array_equal(windowed._grng.pools, loop._grng.pools)
+        assert windowed._grng._addr == loop._grng._addr
+        assert windowed._grng._phase == loop._grng._phase
 
 
 class TestRandomSeuFaults:
@@ -87,3 +121,10 @@ class TestRandomSeuFaults:
             random_seu_faults(-1, depth=10)
         with pytest.raises(ConfigurationError):
             random_seu_faults(1, depth=0)
+
+    def test_count_beyond_depth_rejected(self):
+        # Locations are distinct; a request for more faults than rows
+        # must raise instead of silently capping the fault load.
+        with pytest.raises(ConfigurationError):
+            random_seu_faults(11, depth=10)
+        assert len(random_seu_faults(10, depth=10)) == 10

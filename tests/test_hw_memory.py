@@ -137,3 +137,135 @@ class TestWeightParameterMemory:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             WeightParameterMemory(pe_sets=0, depth=4, word_bits=8)
+
+
+def _loaded_ram(depth=8, width_bits=16):
+    ram = DualPortRam(depth=depth, width_bits=width_bits)
+    ram.load(np.arange(1, depth + 1).astype(object) * 3)
+    return ram
+
+
+class TestBlockAccounting:
+    """Block operations must account exactly like the word-by-word loop."""
+
+    def test_read_block_matches_loop_accounting(self):
+        addresses = [0, 3, 1, 3, 7]
+        block_ram = _loaded_ram()
+        loop_ram = _loaded_ram()
+        words = block_ram.read_block(np.array(addresses))
+        loop_words = []
+        for address in addresses:
+            loop_words.append(loop_ram.read(address))
+            loop_ram.tick()
+        assert list(words) == loop_words
+        assert block_ram.cycles == loop_ram.cycles
+        assert block_ram.total_reads == loop_ram.total_reads
+        assert block_ram._accesses_this_cycle == loop_ram._accesses_this_cycle
+
+    def test_write_block_matches_loop_accounting(self):
+        addresses = [2, 5, 0]
+        values = [7, 9, 11]
+        block_ram = _loaded_ram()
+        loop_ram = _loaded_ram()
+        block_ram.write_block(np.array(addresses), np.array(values, dtype=object))
+        for address, value in zip(addresses, values):
+            loop_ram.write(address, value)
+            loop_ram.tick()
+        assert block_ram.cycles == loop_ram.cycles
+        assert block_ram.total_writes == loop_ram.total_writes
+        for address, value in zip(addresses, values):
+            assert block_ram.read(address) == value
+            block_ram.tick()
+
+    def test_block_read_into_saturated_cycle_conflicts(self):
+        # The first block word lands in the current cycle, exactly like
+        # the loop's first read — two prior accesses exhaust the ports.
+        ram = _loaded_ram()
+        ram.read(0)
+        ram.read(1)
+        with pytest.raises(MemoryPortConflictError):
+            ram.read_block(np.array([2, 3]))
+
+    def test_block_read_shares_cycle_with_one_prior_access(self):
+        ram = _loaded_ram()
+        ram.read(0)
+        words = ram.read_block(np.array([1, 2]))
+        assert len(words) == 2
+        # Loop equivalent: read(1) in the started cycle, tick, read(2), tick.
+        loop_ram = _loaded_ram()
+        loop_ram.read(0)
+        loop_ram.read(1)
+        loop_ram.tick()
+        loop_ram.read(2)
+        loop_ram.tick()
+        assert ram.cycles == loop_ram.cycles
+        assert ram.total_reads == loop_ram.total_reads
+
+    def test_empty_block_is_free(self):
+        ram = _loaded_ram()
+        assert ram.read_block(np.array([], dtype=np.int64)).shape == (0,)
+        ram.write_block(np.array([], dtype=np.int64), np.array([], dtype=object))
+        assert ram.cycles == 0 and ram.total_reads == 0 and ram.total_writes == 0
+
+    def test_block_validation(self):
+        ram = _loaded_ram(depth=4)
+        with pytest.raises(MemoryAccessError):
+            ram.read_block(np.array([0, 4]))
+        with pytest.raises(MemoryAccessError):
+            ram.read_block(np.array([[0, 1]]))
+        with pytest.raises(MemoryAccessError):
+            ram.write_block(np.array([0]), np.array([1 << 16], dtype=object))
+        with pytest.raises(MemoryAccessError):
+            ram.write_block(np.array([0, 1]), np.array([1], dtype=object))
+        with pytest.raises(ConfigurationError):
+            ram.advance(-1)
+
+    def test_advance_counts_idle_cycles(self):
+        ram = _loaded_ram()
+        ram.read(0)
+        ram.advance(5)
+        assert ram.cycles == 5
+        assert ram._accesses_this_cycle == 0
+
+    def test_double_buffered_block_ticks_both_buffers(self):
+        addresses = np.arange(3)
+        block_mem = DoubleBufferedMemory(depth=4, width_bits=8)
+        loop_mem = DoubleBufferedMemory(depth=4, width_bits=8)
+        block_mem.read_block(addresses)
+        for address in addresses:
+            loop_mem.read_buffer.read(int(address))
+            loop_mem.tick()
+        for block_buf, loop_buf in (
+            (block_mem.read_buffer, loop_mem.read_buffer),
+            (block_mem.write_buffer, loop_mem.write_buffer),
+        ):
+            assert block_buf.cycles == loop_buf.cycles
+            assert block_buf.total_reads == loop_buf.total_reads
+        block_mem.write_block(addresses, np.array([1, 2, 3], dtype=object))
+        for address in addresses:
+            loop_mem.write_buffer.write(int(address), int(address) + 1)
+            loop_mem.tick()
+        assert block_mem.write_buffer.cycles == loop_mem.write_buffer.cycles
+        assert block_mem.read_buffer.cycles == loop_mem.read_buffer.cycles
+        assert block_mem.write_buffer.total_writes == loop_mem.write_buffer.total_writes
+
+    def test_weight_parameter_memory_set_blocks(self):
+        block_wp = WeightParameterMemory(pe_sets=3, depth=4, word_bits=8)
+        loop_wp = WeightParameterMemory(pe_sets=3, depth=4, word_bits=8)
+        for wp in (block_wp, loop_wp):
+            for set_index in range(3):
+                wp.load_set(set_index, [10 * set_index + a for a in range(4)])
+        addresses = np.array([0, 2, 1])
+        words = block_wp.read_set_blocks(addresses)
+        assert words.shape == (3, 3)
+        for position, address in enumerate(addresses):
+            for set_index in range(3):
+                assert words[set_index][position] == loop_wp.read_set_word(
+                    set_index, int(address)
+                )
+            loop_wp.tick()
+        for block_ram, loop_ram in zip(block_wp.memories, loop_wp.memories):
+            assert block_ram.cycles == loop_ram.cycles
+            assert block_ram.total_reads == loop_ram.total_reads
+        block_wp.advance(2)
+        assert all(ram.cycles == 5 for ram in block_wp.memories)

@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.hw.packing import pack_word, unpack_word
+from repro.hw.packing import pack_word, pack_words, unpack_word, unpack_words
 
 
 class TestPacking:
@@ -49,3 +49,83 @@ class TestPacking:
         low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
         codes = np.array([low, high, 0])
         assert (unpack_word(pack_word(codes, bits), bits, 3) == codes).all()
+
+
+class TestVectorisedPacking:
+    """pack_words/unpack_words must match the scalar functions exactly."""
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_pack_words_matches_pack_word(self, bits, n_words, count, seed):
+        rng = np.random.default_rng(seed)
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        codes = rng.integers(low, high + 1, size=(n_words, count))
+        words = pack_words(codes, bits)
+        assert words.dtype == object
+        for index in range(n_words):
+            assert words[index] == pack_word(codes[index], bits)
+
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_unpack_words_matches_unpack_word(self, bits, n_words, count, seed):
+        rng = np.random.default_rng(seed)
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        codes = rng.integers(low, high + 1, size=(n_words, count))
+        words = pack_words(codes, bits)
+        unpacked = unpack_words(words, bits, count)
+        assert unpacked.shape == (n_words, count)
+        for index in range(n_words):
+            assert (unpacked[index] == unpack_word(int(words[index]), bits, count)).all()
+        assert (unpacked == codes).all()
+
+    def test_wide_words_beyond_64_bits(self):
+        # A paper-design WPMem word: 64 8-bit fields = 512 bits.
+        rng = np.random.default_rng(0)
+        codes = rng.integers(-128, 128, size=(5, 64))
+        words = pack_words(codes, 8)
+        for index in range(5):
+            assert words[index] == pack_word(codes[index], 8)
+        assert (unpack_words(words, 8, 64) == codes).all()
+
+    def test_empty_word_array(self):
+        assert pack_words(np.empty((0, 4), dtype=np.int64), 8).shape == (0,)
+        assert unpack_words(np.empty(0, dtype=object), 8, 4).shape == (0, 4)
+
+    def test_extra_high_bits_ignored(self):
+        # unpack_word ignores bits past the last field; the vector form must too.
+        word = pack_word(np.array([3, -2]), 8) | (1 << 63)
+        want = unpack_word(word, 8, 2)
+        got = unpack_words(np.array([word], dtype=object), 8, 2)
+        assert (got[0] == want).all()
+
+    def test_pack_words_validation(self):
+        with pytest.raises(ConfigurationError):
+            pack_words(np.array([1, 2]), 8)  # 1-D rejected
+        with pytest.raises(ConfigurationError):
+            pack_words(np.array([[1]]), 1)
+        with pytest.raises(ConfigurationError):
+            pack_words(np.array([[128]]), 8)
+        with pytest.raises(ConfigurationError):
+            pack_words(np.empty((2, 0), dtype=np.int64), 8)
+        with pytest.raises(ConfigurationError):
+            pack_words(np.array([[1]]), 63)  # beyond the int64 field bound
+
+    def test_unpack_words_validation(self):
+        with pytest.raises(ConfigurationError):
+            unpack_words(np.array([-1], dtype=object), 8, 2)
+        with pytest.raises(ConfigurationError):
+            unpack_words(np.array([3.7], dtype=object), 8, 2)  # floats rejected
+        with pytest.raises(ConfigurationError):
+            unpack_words(np.array([0], dtype=object), 1, 2)
+        with pytest.raises(ConfigurationError):
+            unpack_words(np.array([0], dtype=object), 8, 0)
+        with pytest.raises(ConfigurationError):
+            unpack_words(np.array([[0]], dtype=object), 8, 2)  # 2-D rejected

@@ -5,7 +5,13 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.fixedpoint import QFormat, requantize
-from repro.hw.pe import PE_PIPELINE_STAGES, PeSet, ProcessingElement
+from repro.hw.pe import (
+    PE_PIPELINE_STAGES,
+    PeSet,
+    ProcessingElement,
+    stacked_accumulate,
+    stacked_finish,
+)
 
 # Single shared format keeps the reference arithmetic simple; the
 # mixed-format path is exercised by tests/test_hw_accelerator.py.
@@ -102,3 +108,86 @@ class TestPeSet:
 
     def test_len(self):
         assert len(PeSet(8, 8, FMT)) == 8
+
+
+class TestStackedKernels:
+    """The lockstep array kernels must match per-PE loops bit for bit."""
+
+    def _reference_accumulate(self, features, weights):
+        """Per-PE reference: iteration-chunked accumulation, Python-int acc."""
+        passes, k, out = weights.shape
+        shared = features.ndim == 2
+        batch = features.shape[-2]
+        acc = np.empty((passes, batch, out), dtype=np.int64)
+        for p in range(passes):
+            for b in range(batch):
+                row = features[b] if shared else features[p, b]
+                for o in range(out):
+                    pe = ProcessingElement(k, FMT)
+                    pe.accumulate(weights[p, :, o], row)
+                    acc[p, b, o] = pe._accumulator
+        return acc
+
+    def test_matches_per_pe_accumulation_shared_features(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-16, 16, size=(3, 8, 5))
+        features = rng.integers(-16, 16, size=(4, 8))
+        got = stacked_accumulate(features, weights, bit_length=8)
+        assert (got == self._reference_accumulate(features, weights)).all()
+
+    def test_matches_per_pe_accumulation_per_pass_features(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-16, 16, size=(3, 6, 4))
+        features = rng.integers(-16, 16, size=(3, 5, 6))
+        got = stacked_accumulate(features, weights, bit_length=8)
+        assert (got == self._reference_accumulate(features, weights)).all()
+
+    def test_wide_bitlength_object_fallback_is_exact(self):
+        # K * 2**(2B - 2) >= 2**53 forces the Python-int contraction; the
+        # result must still match the unbounded-accumulator reference.
+        rng = np.random.default_rng(2)
+        big = 1 << 30
+        weights = rng.integers(-big, big, size=(2, 4, 3))
+        features = rng.integers(-big, big, size=(2, 2, 4))
+        got = stacked_accumulate(features, weights, bit_length=32)
+        want = np.array(
+            [
+                [
+                    [
+                        sum(
+                            int(w) * int(f)
+                            for w, f in zip(weights[p, :, o], features[p, b])
+                        )
+                        for o in range(3)
+                    ]
+                    for b in range(2)
+                ]
+                for p in range(2)
+            ]
+        )
+        assert (np.asarray(got, dtype=np.int64) == want).all()
+
+    def test_stacked_finish_matches_pe_finish(self):
+        rng = np.random.default_rng(3)
+        pe = ProcessingElement(4, FMT)
+        acc = rng.integers(-4000, 4000, size=(2, 3, 5))
+        bias = rng.integers(-500, 500, size=(2, 5))
+        for apply_relu in (False, True):
+            got = stacked_finish(
+                acc, bias[:, None, :], 2 * FMT.frac_bits, FMT, apply_relu=apply_relu
+            )
+            for p in range(2):
+                for b in range(3):
+                    for o in range(5):
+                        pe._accumulator = int(acc[p, b, o])
+                        want = pe.finish(int(bias[p, o]), apply_relu=apply_relu)
+                        assert got[p, b, o] == want
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stacked_accumulate(np.zeros((2, 4)), np.zeros((3, 4)), bit_length=8)
+        with pytest.raises(ConfigurationError):
+            stacked_accumulate(np.zeros((2, 5)), np.zeros((3, 4, 2)), bit_length=8)
+        with pytest.raises(ConfigurationError):
+            # per-pass features with a mismatched pass count
+            stacked_accumulate(np.zeros((2, 6, 4)), np.zeros((3, 4, 2)), bit_length=8)

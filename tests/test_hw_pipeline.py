@@ -7,6 +7,7 @@ from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import schedule_network
 from repro.hw.pipeline import (
     PIPELINE_DEPTH,
+    closed_form_layer_pipeline,
     simulate_layer_pipeline,
 )
 
@@ -67,3 +68,45 @@ class TestStalls:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             simulate_layer_pipeline(CFG, _layer(0), stall_every=-1)
+
+
+SMALL_CFG = ArchitectureConfig(pe_sets=2, pes_per_set=4, pe_inputs=4)
+
+
+class TestClosedForm:
+    """The fill + stall algebra must equal the cycle loop exactly."""
+
+    @pytest.mark.parametrize("stall_every", [0, 1, 2, 7, 64])
+    def test_equals_loop_across_layers(self, stall_every):
+        for config, sizes in [
+            (CFG, (784, 200, 200, 10)),
+            (SMALL_CFG, (784, 100, 10)),
+            (SMALL_CFG, (130, 40, 12)),
+        ]:
+            for layer in schedule_network(config, sizes).layers:
+                loop = simulate_layer_pipeline(config, layer, stall_every=stall_every)
+                closed = closed_form_layer_pipeline(
+                    config, layer, stall_every=stall_every
+                )
+                assert closed == loop
+
+    def test_single_operation_layer(self):
+        config = ArchitectureConfig(pe_sets=1, pes_per_set=4, pe_inputs=4)
+        layer = schedule_network(config, (4, 4, 4)).layers[0]
+        assert layer.compute_cycles == 1
+        for stall_every in (0, 1, 5):
+            assert closed_form_layer_pipeline(
+                config, layer, stall_every=stall_every
+            ) == simulate_layer_pipeline(config, layer, stall_every=stall_every)
+
+    def test_stall_boundary_counts(self):
+        # Exactly ops == stall_every issues -> no bubble ever inserted.
+        layer = _layer(2)  # 25 operations
+        report = closed_form_layer_pipeline(CFG, layer, stall_every=25)
+        assert report.stall_cycles == 0
+        report = closed_form_layer_pipeline(CFG, layer, stall_every=24)
+        assert report.stall_cycles == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            closed_form_layer_pipeline(CFG, _layer(0), stall_every=-1)
