@@ -72,6 +72,8 @@ class BayesianDenseLayer:
         self._eps_b: np.ndarray | None = None
         self._sampled_w: np.ndarray | None = None
         self._sampled_b: np.ndarray | None = None
+        self._sigma_w: np.ndarray | None = None
+        self._sigma_b: np.ndarray | None = None
         # Gradient slots.
         self.grad_mu_weights = np.zeros_like(self.mu_weights)
         self.grad_rho_weights = np.zeros_like(self.rho_weights)
@@ -143,8 +145,13 @@ class BayesianDenseLayer:
             eps_w = np.zeros_like(self.mu_weights)
             eps_b = np.zeros_like(self.mu_bias)
         self._eps_w, self._eps_b = eps_w, eps_b
-        self._sampled_w = self.mu_weights + self.sigma_weights() * eps_w
-        self._sampled_b = self.mu_bias + self.sigma_bias() * eps_b
+        # softplus(rho) is unchanged until the optimizer step, so the
+        # backward pass reuses these sigmas instead of recomputing the
+        # (comparatively expensive) softplus.
+        self._sigma_w = self.sigma_weights()
+        self._sigma_b = self.sigma_bias()
+        self._sampled_w = self.mu_weights + self._sigma_w * eps_w
+        self._sampled_b = self.mu_bias + self._sigma_b * eps_b
         return x @ self._sampled_w + self._sampled_b
 
     def backward(self, grad_output: np.ndarray, kl_scale: float, prior) -> np.ndarray:
@@ -166,8 +173,8 @@ class BayesianDenseLayer:
 
         if kl_scale > 0.0:
             if prior.closed_form:
-                sigma_w = self.sigma_weights()
-                sigma_b = self.sigma_bias()
+                sigma_w = self._sigma_w
+                sigma_b = self._sigma_b
                 kl_mu_w, kl_sig_w = prior.kl_grad(self.mu_weights, sigma_w)
                 kl_mu_b, kl_sig_b = prior.kl_grad(self.mu_bias, sigma_b)
                 self.grad_mu_weights += kl_scale * kl_mu_w
@@ -175,8 +182,8 @@ class BayesianDenseLayer:
                 self.grad_mu_bias += kl_scale * kl_mu_b
                 self.grad_rho_bias += kl_scale * kl_sig_b * sig_rho_b
             else:
-                sigma_w = self.sigma_weights()
-                sigma_b = self.sigma_bias()
+                sigma_w = self._sigma_w
+                sigma_b = self._sigma_b
                 neg_dlogp_w = -prior.grad_log_prob(self._sampled_w)
                 neg_dlogp_b = -prior.grad_log_prob(self._sampled_b)
                 self.grad_mu_weights += kl_scale * neg_dlogp_w
@@ -190,21 +197,29 @@ class BayesianDenseLayer:
         return grad_output @ self._sampled_w.T
 
     # ------------------------------------------------------------------
-    def kl_divergence(self, prior) -> float:
+    def kl_divergence(self, prior, *, use_cache: bool = False) -> float:
         """KL of the layer posterior from the prior.
 
         Exact for closed-form priors; otherwise the sampled estimate at the
-        most recent forward pass's weights.
+        most recent forward pass's weights.  ``use_cache=True`` reuses the
+        sigmas computed by the most recent forward pass instead of
+        re-running softplus — only valid when ``rho`` has not changed
+        since (``train_step`` calls it between forward and the optimizer
+        step, where that holds by construction).
         """
+        if use_cache and self._sigma_w is not None:
+            sigma_w, sigma_b = self._sigma_w, self._sigma_b
+        else:
+            sigma_w, sigma_b = self.sigma_weights(), self.sigma_bias()
         if prior.closed_form:
-            return prior.kl_divergence(
-                self.mu_weights, self.sigma_weights()
-            ) + prior.kl_divergence(self.mu_bias, self.sigma_bias())
+            return prior.kl_divergence(self.mu_weights, sigma_w) + prior.kl_divergence(
+                self.mu_bias, sigma_b
+            )
         if self._sampled_w is None:
             raise ConfigurationError("sampled KL requires a forward pass first")
         return (
-            self._log_q(self._sampled_w, self.mu_weights, self.sigma_weights())
-            + self._log_q(self._sampled_b, self.mu_bias, self.sigma_bias())
+            self._log_q(self._sampled_w, self.mu_weights, sigma_w)
+            + self._log_q(self._sampled_b, self.mu_bias, sigma_b)
             - prior.log_prob(self._sampled_w)
             - prior.log_prob(self._sampled_b)
         )
@@ -279,9 +294,16 @@ class BayesianNetwork:
             hidden = relu(pre)
         return self.layers[-1].forward(hidden, sample=sample)
 
-    def kl_divergence(self) -> float:
-        """Total KL of the network posterior from the prior."""
-        return sum(layer.kl_divergence(self.prior) for layer in self.layers)
+    def kl_divergence(self, *, use_cache: bool = False) -> float:
+        """Total KL of the network posterior from the prior.
+
+        ``use_cache=True`` reuses each layer's forward-pass sigmas (valid
+        between a forward pass and the next optimizer step).
+        """
+        return sum(
+            layer.kl_divergence(self.prior, use_cache=use_cache)
+            for layer in self.layers
+        )
 
     def train_step(
         self, x: np.ndarray, labels: np.ndarray, optimizer, kl_scale: float
@@ -296,7 +318,7 @@ class BayesianNetwork:
             raise ConfigurationError(f"kl_scale must be >= 0, got {kl_scale}")
         logits = self.forward(x, sample=True)
         nll, grad = cross_entropy_loss(logits, labels)
-        kl = self.kl_divergence()
+        kl = self.kl_divergence(use_cache=True)
         grad = self.layers[-1].backward(grad, kl_scale, self.prior)
         for index in range(len(self.layers) - 2, -1, -1):
             grad = grad * relu_grad(self._pre_activations[index])
@@ -311,7 +333,32 @@ class BayesianNetwork:
 
     # ------------------------------------------------------------------
     def predict_proba(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
-        """Monte-Carlo averaged class probabilities (eq. 6)."""
+        """Monte-Carlo averaged class probabilities (eq. 6), stacked.
+
+        All ``n_samples`` forward passes run as one stacked tensor
+        computation (:func:`repro.bnn.inference.stacked_forward`) with the
+        epsilons drawn from each layer's internal stream in the exact
+        per-sample order the reference loop consumes them — bit-for-bit
+        equal to :meth:`predict_proba_loop` and leaving every layer's
+        stream in the same state.  This is the path
+        :meth:`~repro.bnn.trainer.Trainer._evaluate` rides for the
+        per-epoch train/test accuracy sweeps.  Samples run outermost, so
+        per-pass transients stay at the loop path's size; only the weight
+        and logit stacks carry a leading sample axis.
+        """
+        from repro.bnn.inference import (
+            draw_layer_epsilons,
+            stacked_forward,
+            stacked_softmax_average,
+        )
+
+        check_positive("n_samples", n_samples)
+        x = np.asarray(x, dtype=np.float64)
+        epsilons = draw_layer_epsilons(self.layers, n_samples)
+        return stacked_softmax_average(stacked_forward(self.layers, x, epsilons))
+
+    def predict_proba_loop(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """Eq. (6) as one forward pass per MC sample — the kept reference."""
         check_positive("n_samples", n_samples)
         x = np.asarray(x, dtype=np.float64)
         total = np.zeros((x.shape[0], self.layer_sizes[-1]))

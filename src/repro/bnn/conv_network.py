@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.bnn.activations import relu, relu_grad, softmax
 from repro.bnn.bayesian import BayesianDenseLayer
-from repro.bnn.convolution import BayesianConv2dLayer, MaxPool2dLayer
+from repro.bnn.convolution import (
+    BayesianConv2dLayer,
+    MaxPool2dLayer,
+    im2col,
+    maxpool_positions,
+)
 from repro.bnn.losses import cross_entropy_loss
 from repro.bnn.priors import GaussianPrior
 from repro.errors import ConfigurationError
@@ -87,28 +92,79 @@ class BayesianConvNetwork:
             + self.head.weight_count()
         )
 
-    def forward(self, x: np.ndarray, *, sample: bool = True) -> np.ndarray:
-        """Logits for a batch of ``(batch, C, H, W)`` images."""
+    def forward(
+        self, x: np.ndarray, *, sample: bool = True, patches: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Logits for a batch of ``(batch, C, H, W)`` images.
+
+        ``patches`` optionally carries precomputed first-stage im2col
+        patches for this batch (see :meth:`precompute_patches`).
+        """
         self._conv_pre = []
         hidden = np.asarray(x, dtype=np.float64)
-        for conv, pool in zip(self.conv_layers, self.pools):
-            pre = conv.forward(hidden, sample=sample)
+        for index, (conv, pool) in enumerate(zip(self.conv_layers, self.pools)):
+            pre = conv.forward(
+                hidden, sample=sample, patches=patches if index == 0 else None
+            )
             self._conv_pre.append(pre)
             hidden = pool.forward(relu(pre))
         self._flat_shape = hidden.shape
         flat = hidden.reshape(hidden.shape[0], -1)
         return self.head.forward(flat, sample=sample)
 
-    def train_step(self, x, labels, optimizer, kl_scale: float) -> float:
-        """One ELBO descent step; returns the batch NLL."""
-        logits = self.forward(x, sample=True)
+    def kl_divergence(self, *, use_cache: bool = False) -> float:
+        """Total KL of the network posterior from the prior.
+
+        ``use_cache=True`` reuses each layer's forward-pass sigmas (valid
+        between a forward pass and the next optimizer step).
+        """
+        return sum(
+            conv.kl_divergence(self.prior, use_cache=use_cache)
+            for conv in self.conv_layers
+        ) + self.head.kl_divergence(self.prior, use_cache=use_cache)
+
+    def precompute_patches(self, x: np.ndarray) -> np.ndarray:
+        """First-stage im2col patches of ``x``, extracted once per dataset.
+
+        Patch extraction depends only on the images, never on the sampled
+        weights, so a multi-epoch training loop can extract the full
+        training set's patches once and pass per-batch row slices to
+        :meth:`train_step` — amortising the per-step im2col to nothing
+        (``benchmarks/bench_training.py`` measures the effect).
+        """
+        first = self.conv_layers[0]
+        return im2col(
+            np.asarray(x, dtype=np.float64),
+            first.kernel_size,
+            first.stride,
+            first.padding,
+        )
+
+    def train_step(
+        self, x, labels, optimizer, kl_scale: float, *, patches=None
+    ) -> tuple[float, float]:
+        """One ELBO descent step; returns ``(nll, kl)`` for the batch.
+
+        The same contract as
+        :meth:`~repro.bnn.bayesian.BayesianNetwork.train_step`, so the
+        generic :class:`~repro.bnn.trainer.Trainer` drives convolutional
+        Bayesian networks unchanged.  ``patches`` optionally carries this
+        batch's slice of :meth:`precompute_patches` output.  The first
+        conv layer's input gradient is never computed — nothing consumes
+        it, and its col2im scatter-add would be the single most expensive
+        backward step.
+        """
+        logits = self.forward(x, sample=True, patches=patches)
         nll, grad = cross_entropy_loss(logits, labels)
+        kl = self.kl_divergence(use_cache=True)
         grad = self.head.backward(grad, kl_scale, self.prior)
         grad = grad.reshape(self._flat_shape)
         for index in range(len(self.conv_layers) - 1, -1, -1):
             grad = self.pools[index].backward(grad)
             grad = grad * relu_grad(self._conv_pre[index])
-            grad = self.conv_layers[index].backward(grad, kl_scale, self.prior)
+            grad = self.conv_layers[index].backward(
+                grad, kl_scale, self.prior, need_input_grad=index > 0
+            )
         params, grads = [], []
         for conv in self.conv_layers:
             params.extend(conv.parameters())
@@ -116,10 +172,106 @@ class BayesianConvNetwork:
         params.extend(self.head.parameters())
         grads.extend(self.head.gradients())
         optimizer.update(params, grads)
-        return nll
+        return nll, kl
+
+    # ------------------------------------------------------------------
+    # Monte-Carlo prediction: stacked fast path + kept loop reference
+    # ------------------------------------------------------------------
+    def forward_stacked(self, x: np.ndarray, epsilons) -> np.ndarray:
+        """Run all MC forward passes off stacked weight tensors.
+
+        ``x`` has shape ``(batch, C, H, W)``; ``epsilons`` is the
+        per-layer ``(eps_w, eps_b)`` stack list (conv stages then head)
+        from :func:`repro.bnn.inference.draw_layer_epsilons`.  Returns
+        logits of shape ``(n_samples, batch, n_classes)``.
+
+        What makes it fast — and why it stays bit-for-bit equal to the
+        per-sample loop:
+
+        * every layer's sampled-weight stack ``mu + softplus(rho) * eps``
+          is built as one tensor op (one softplus per layer instead of
+          one per MC pass);
+        * the first stage's im2col patches are extracted once and shared
+          by every pass (patch extraction is weight-independent);
+        * each pass then runs the *same* 2-D ``patches @ W + b`` GEMM the
+          reference loop runs, into a reused buffer (``matmul`` + in-place
+          bias add — identical values, no per-pass allocations), with the
+          ReLU applied in place;
+        * pooling uses the mask-free position-major kernel
+          (:func:`~repro.bnn.convolution.maxpool_positions`) — no argmax
+          mask is materialised on a prediction-only path, and the single
+          layout transpose happens on the 4x smaller pooled map.
+
+        Samples run outermost, so the working set per pass is the same
+        cache-friendly size as one reference-loop pass rather than an
+        ``n_samples``-times-larger stack.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ConfigurationError(
+                f"expected (batch, {self.input_shape[0]}, "
+                f"{self.input_shape[1]}, {self.input_shape[2]}), got {x.shape}"
+            )
+        n_samples = epsilons[0][0].shape[0]
+        batch = x.shape[0]
+        conv_stacks = []
+        for conv, (eps_w, eps_b) in zip(self.conv_layers, epsilons[:-1]):
+            conv_stacks.append(
+                (
+                    conv.mu_weights + conv.sigma_weights() * eps_w,
+                    conv.mu_bias + conv.sigma_bias() * eps_b,
+                )
+            )
+        eps_w, eps_b = epsilons[-1]
+        head_w = self.head.mu_weights + self.head.sigma_weights() * eps_w
+        head_b = self.head.mu_bias + self.head.sigma_bias() * eps_b
+        first = self.conv_layers[0]
+        shared = im2col(x, first.kernel_size, first.stride, first.padding)
+        logits = np.empty((n_samples, batch, self.head.out_features))
+        buffers: dict[int, np.ndarray] = {}
+        for sample in range(n_samples):
+            hidden: np.ndarray | None = None
+            for index, (conv, pool) in enumerate(zip(self.conv_layers, self.pools)):
+                weights, bias = conv_stacks[index]
+                if index == 0:
+                    patches = shared
+                    stage_shape = x.shape[1:]
+                else:
+                    patches = im2col(
+                        hidden, conv.kernel_size, conv.stride, conv.padding
+                    )
+                    stage_shape = hidden.shape[1:]
+                out_c, out_h, out_w = conv.output_shape(stage_shape)
+                pre = buffers.get(index)
+                if pre is None:
+                    pre = buffers[index] = np.empty((batch, out_h * out_w, out_c))
+                np.matmul(patches, weights[sample], out=pre)
+                pre += bias[sample]
+                np.maximum(pre, 0.0, out=pre)  # in-place ReLU
+                hidden = maxpool_positions(pre, out_h, out_w, pool.pool_size)
+            flat = hidden.reshape(batch, -1)
+            logits[sample] = flat @ head_w[sample] + head_b[sample]
+        return logits
 
     def predict_proba(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
-        """MC-averaged class probabilities (eq. 6)."""
+        """MC-averaged class probabilities (eq. 6), stacked.
+
+        Epsilons are drawn from each layer's internal stream in the exact
+        per-sample order of the reference loop
+        (:func:`repro.bnn.inference.draw_layer_epsilons`), so this is
+        bit-for-bit equal to :meth:`predict_proba_loop` and leaves the
+        streams in the same state.  See :meth:`forward_stacked` for what
+        makes it fast.
+        """
+        from repro.bnn.inference import draw_layer_epsilons, stacked_softmax_average
+
+        check_positive("n_samples", n_samples)
+        x = np.asarray(x, dtype=np.float64)
+        epsilons = draw_layer_epsilons([*self.conv_layers, self.head], n_samples)
+        return stacked_softmax_average(self.forward_stacked(x, epsilons))
+
+    def predict_proba_loop(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
+        """Eq. (6) as one forward pass per MC sample — the kept reference."""
         check_positive("n_samples", n_samples)
         x = np.asarray(x, dtype=np.float64)
         total = np.zeros((x.shape[0], self.head.out_features))

@@ -107,15 +107,18 @@ def stacked_epsilons(layers, n_samples: int, grng: Grng | None) -> list[tuple[np
 
 
 def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
-    """Run all Monte-Carlo forward passes as one stacked tensor computation.
+    """Run all Monte-Carlo forward passes off stacked weight tensors.
 
     ``x`` has shape ``(batch, in)``; ``epsilons`` is the per-layer list
-    from :func:`split_epsilon_block` / :func:`draw_layer_epsilons`.  The
-    sampled weights ``w = mu + sigma * eps`` form an ``(S, in, out)``
-    stack and the hidden state an ``(S, batch, features)`` stack; matmul
-    broadcasting runs one GEMM per sample slice — the identical FLOPs of
-    the reference loop without the Python round trips.  Returns logits of
-    shape ``(S, batch, out)``.
+    from :func:`split_epsilon_block` / :func:`draw_layer_epsilons`.  Each
+    layer's sampled weights ``w = mu + sigma * eps`` are built as one
+    ``(S, in, out)`` tensor op — a single softplus per layer instead of
+    one per MC pass — and the passes then run sample-outermost as 2-D
+    GEMM slices, bit-identical to the reference loop's per-pass matmuls
+    (a stacked 3-D matmul may tile differently) while keeping the
+    per-pass working set at the loop path's cache-friendly size instead
+    of an ``S``-times-larger hidden stack.  Returns logits of shape
+    ``(S, batch, out)``.
     """
     x = np.asarray(x, dtype=np.float64)
     in_features = layers[0].mu_weights.shape[0]
@@ -123,22 +126,38 @@ def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
         raise ConfigurationError(
             f"expected input shape (batch, {in_features}), got {x.shape}"
         )
-    hidden: np.ndarray | None = None  # None means "x shared across samples"
+    stacks = [
+        (
+            layer.mu_weights + layer.sigma_weights() * eps_w,
+            layer.mu_bias + layer.sigma_bias() * eps_b,
+        )
+        for layer, (eps_w, eps_b) in zip(layers, epsilons)
+    ]
+    n_samples = stacks[0][0].shape[0]
     last = len(layers) - 1
-    for index, layer in enumerate(layers):
-        eps_w, eps_b = epsilons[index]
-        weights = layer.mu_weights + layer.sigma_weights() * eps_w
-        bias = layer.mu_bias + layer.sigma_bias() * eps_b
-        n_samples = weights.shape[0]
-        pre = np.empty((n_samples, x.shape[0], weights.shape[2]))
-        # One 2-D GEMM per sample slice: bit-identical to the reference
-        # loop's per-pass matmuls (a stacked 3-D matmul may tile/thread
-        # differently) and it keeps the BLAS threading of the 2-D path.
-        for sample in range(n_samples):
-            source = x if hidden is None else hidden[sample]
-            pre[sample] = source @ weights[sample] + bias[sample]
-        hidden = relu(pre) if index < last else pre
-    return hidden
+    logits = np.empty((n_samples, x.shape[0], layers[-1].mu_weights.shape[1]))
+    for sample in range(n_samples):
+        hidden = x
+        for index, (weights, bias) in enumerate(stacks):
+            pre = hidden @ weights[sample] + bias[sample]
+            hidden = relu(pre) if index < last else pre
+        logits[sample] = hidden
+    return logits
+
+
+def stacked_softmax_average(logits: np.ndarray) -> np.ndarray:
+    """Average ``softmax`` over the leading sample axis of a logit stack.
+
+    The softmax is row-wise (so the stack shape is irrelevant to each
+    row's result) and the sum runs slice by slice along the sample axis —
+    bit-identical to a reference loop's ``total += softmax(logits_s)``
+    sequential accumulation.
+    """
+    probs = softmax(logits)
+    total = np.zeros(probs.shape[1:])
+    for index in range(probs.shape[0]):
+        total += probs[index]
+    return total / probs.shape[0]
 
 
 class MonteCarloPredictor:
@@ -157,14 +176,12 @@ class MonteCarloPredictor:
     n_samples:
         Monte-Carlo sample count ``N`` of eq. (6).
     batched:
-        Default execution path: ``True`` runs all samples as one stacked
-        tensor computation; ``False`` uses the reference per-sample loop.
-        The stacked path materialises ``(n_samples, batch, features)``
-        transients — roughly ``n_samples`` times the loop path's working
-        set — and its win comes from drawing epsilons as one GRNG block,
-        so with ``grng=None`` (per-layer NumPy draws) it is memory for no
-        speedup; pass ``batched=False`` for very large batches on
-        memory-constrained hosts.
+        Default execution path: ``True`` runs all samples off stacked
+        weight tensors (samples outermost, one softplus per layer, one
+        GRNG block draw); ``False`` uses the reference per-sample loop.
+        The batched path's throughput win comes from drawing epsilons as
+        one GRNG block, so with ``grng=None`` (per-layer NumPy draws)
+        the two are roughly equal in speed.
     """
 
     def __init__(
@@ -195,13 +212,9 @@ class MonteCarloPredictor:
         """Eq. (6) with every MC pass stacked along a leading sample axis."""
         x = np.asarray(x, dtype=np.float64)
         logits = stacked_forward(self.network.layers, x, self._stacked_epsilons())
-        probs = softmax(logits)
-        # Sum along the sample axis slice by slice: bit-identical to the
-        # reference loop's sequential accumulation.
-        total = np.zeros(probs.shape[1:])
-        for index in range(probs.shape[0]):
-            total += probs[index]
-        return total / self.n_samples
+        # Slice-by-slice sample average: bit-identical to the reference
+        # loop's sequential accumulation.
+        return stacked_softmax_average(logits)
 
     # ------------------------------------------------------------------
     # Reference loop (kept for equivalence tests and as documentation of

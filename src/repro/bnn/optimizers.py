@@ -34,7 +34,9 @@ class Sgd:
                     f"param/grad shape mismatch at {index}: {param.shape} vs {grad.shape}"
                 )
             if self.momentum:
-                velocity = self._velocity.setdefault(index, np.zeros_like(param))
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = self._velocity[index] = np.zeros_like(param)
                 velocity *= self.momentum
                 velocity -= self.learning_rate * grad
                 param += velocity
@@ -62,10 +64,19 @@ class Adam:
         self.epsilon = epsilon
         self._m: dict[int, np.ndarray] = {}
         self._v: dict[int, np.ndarray] = {}
+        self._scratch: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._t = 0
 
     def update(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
-        """Apply one Adam step; ``params`` are modified in place."""
+        """Apply one Adam step; ``params`` are modified in place.
+
+        All intermediates land in per-slot scratch buffers, so a training
+        step allocates nothing here after the first call.  The operation
+        order matches the textbook formulation term for term —
+        ``m += (1-b1)(g-m)``, ``v += (1-b2)(g^2-v)``,
+        ``param -= (lr_t * m) / (sqrt(v) + eps)`` — so the updates are
+        bit-identical to the allocating version.
+        """
         if len(params) != len(grads):
             raise ConfigurationError("params and grads length mismatch")
         self._t += 1
@@ -77,8 +88,33 @@ class Adam:
                 raise ConfigurationError(
                     f"param/grad shape mismatch at {index}: {param.shape} vs {grad.shape}"
                 )
-            m = self._m.setdefault(index, np.zeros_like(param))
-            v = self._v.setdefault(index, np.zeros_like(param))
-            m += (1.0 - self.beta1) * (grad - m)
-            v += (1.0 - self.beta2) * (grad**2 - v)
-            param -= lr_t * m / (np.sqrt(v) + self.epsilon)
+            # .get instead of setdefault: setdefault would build its
+            # zeros_like default eagerly on every step.
+            m = self._m.get(index)
+            if m is None:
+                m = self._m[index] = np.zeros_like(param)
+            v = self._v.get(index)
+            if v is None:
+                v = self._v[index] = np.zeros_like(param)
+            buffers = self._scratch.get(index)
+            if buffers is None:
+                buffers = self._scratch[index] = (
+                    np.empty_like(param),
+                    np.empty_like(param),
+                )
+            scratch, update = buffers
+            # m += (1 - beta1) * (grad - m)
+            np.subtract(grad, m, out=scratch)
+            scratch *= 1.0 - self.beta1
+            m += scratch
+            # v += (1 - beta2) * (grad**2 - v)
+            np.square(grad, out=scratch)
+            scratch -= v
+            scratch *= 1.0 - self.beta2
+            v += scratch
+            # param -= (lr_t * m) / (sqrt(v) + epsilon)
+            np.sqrt(v, out=scratch)
+            scratch += self.epsilon
+            np.multiply(m, lr_t, out=update)
+            update /= scratch
+            param -= update

@@ -22,7 +22,7 @@ import numpy as np
 from repro.bnn.activations import relu, relu_grad
 from repro.bnn.bayesian import BayesianDenseLayer
 from repro.bnn.priors import GaussianPrior
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TrainingError
 from repro.utils.validation import check_positive
 
 
@@ -110,7 +110,14 @@ class BayesianRegressor:
         batch_size: int = 32,
         seed: int = 0,
     ) -> list[float]:
-        """Simple full-data training loop; returns per-epoch NLL."""
+        """Simple full-data training loop; returns per-epoch NLL.
+
+        Raises :class:`~repro.errors.TrainingError` as soon as an epoch
+        loss goes non-finite — the same divergence check
+        :meth:`~repro.bnn.trainer.Trainer.fit` applies, so a diverged
+        regression run fails loudly instead of silently recording a
+        garbage history.
+        """
         if epochs < 1:
             raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
         x = np.asarray(x, dtype=np.float64)
@@ -128,6 +135,11 @@ class BayesianRegressor:
                 epoch_nll += self.train_step(x[idx], targets[idx], optimizer, kl_scale)
                 batches += 1
             history.append(epoch_nll / batches)
+            if not np.isfinite(history[-1]):
+                raise TrainingError(
+                    f"regression training diverged at epoch {len(history)} "
+                    f"(loss={history[-1]})"
+                )
         return history
 
     def predict(

@@ -11,11 +11,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bnn.bayesian import BayesianNetwork
+from repro.bnn.conv_network import BayesianConvNetwork
 from repro.bnn.metrics import accuracy
 from repro.bnn.network import FeedForwardNetwork
 from repro.bnn.optimizers import Adam
 from repro.errors import ConfigurationError, TrainingError
 from repro.utils.seeding import spawn_generator
+
+#: Models whose ``train_step`` takes a ``kl_scale`` and returns
+#: ``(nll, kl)``, and whose ``predict`` takes an ``n_samples`` MC count.
+BAYESIAN_MODELS = (BayesianNetwork, BayesianConvNetwork)
 
 
 @dataclass
@@ -48,8 +53,9 @@ class Trainer:
     Parameters
     ----------
     model:
-        A :class:`~repro.bnn.network.FeedForwardNetwork` or
-        :class:`~repro.bnn.bayesian.BayesianNetwork`.
+        A :class:`~repro.bnn.network.FeedForwardNetwork`,
+        :class:`~repro.bnn.bayesian.BayesianNetwork` or
+        :class:`~repro.bnn.conv_network.BayesianConvNetwork`.
     optimizer:
         Any object with ``update(params, grads)``; defaults to Adam(1e-3).
     batch_size, epochs, seed:
@@ -88,6 +94,13 @@ class Trainer:
         For Bayesian models the per-batch KL weight is
         ``batch_size / n_train`` so one epoch sums to one full ELBO.
         """
+        # Validate the evaluation sample count BEFORE training: a bad
+        # value used to surface only inside predict() after a full epoch
+        # of training had already been spent.
+        if eval_samples < 1:
+            raise ConfigurationError(
+                f"eval_samples must be >= 1, got {eval_samples}"
+            )
         x_train = np.asarray(x_train, dtype=np.float64)
         y_train = np.asarray(y_train)
         if x_train.shape[0] != y_train.shape[0]:
@@ -95,7 +108,7 @@ class Trainer:
         if x_train.shape[0] == 0:
             raise ConfigurationError("empty training set")
         n_train = x_train.shape[0]
-        is_bayesian = isinstance(self.model, BayesianNetwork)
+        is_bayesian = isinstance(self.model, BAYESIAN_MODELS)
         kl_scale = 1.0 / n_train
         history = TrainingHistory()
         for _ in range(self.epochs):
@@ -134,7 +147,14 @@ class Trainer:
         return history
 
     def _evaluate(self, x: np.ndarray, y: np.ndarray, eval_samples: int) -> float:
-        if isinstance(self.model, BayesianNetwork):
+        """Accuracy sweep over ``x`` — rides the stacked MC fast path.
+
+        For Bayesian models ``predict`` runs all ``eval_samples`` passes
+        as one stacked tensor computation (bit-for-bit equal to the kept
+        per-sample loop), so the per-epoch train/test sweeps no longer
+        dominate the training wall-clock.
+        """
+        if isinstance(self.model, BAYESIAN_MODELS):
             predictions = self.model.predict(x, n_samples=eval_samples)
         else:
             predictions = self.model.predict(x)

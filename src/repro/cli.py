@@ -4,15 +4,17 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli run table1 [--out results/]
-    python -m repro.cli run-all [--out results/]
+    python -m repro.cli run-all [--out results/] [--jobs 4] [--cache-dir cache/]
     python -m repro.cli grng rlf --samples 10000 --seed 7
     python -m repro.cli design-space --grng rlf
     python -m repro.cli serve-demo --requests 256 --workers 2
     python -m repro.cli loadtest --pattern open --rate 200 --duration 3
 
 ``run`` executes one registered experiment (a paper table/figure) and
-prints/saves the rendered table; ``run-all`` runs every experiment,
-continuing past failures and exiting non-zero with a failure summary;
+prints/saves the rendered table; ``run-all`` runs every experiment —
+optionally across ``--jobs`` worker processes and sharing a
+trained-posterior artifact cache via ``--cache-dir`` — continuing past
+failures and exiting non-zero with a failure summary;
 ``grng`` draws samples from a registered generator and prints its quality
 metrics (reproducible via ``--seed``); ``design-space`` runs the §5.4
 explorer; ``serve-demo`` trains a small BNN, round-trips it through the
@@ -27,7 +29,6 @@ import argparse
 import pathlib
 import sys
 import tempfile
-import traceback
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.bnn.serialization import save_posterior
 from repro.bnn.trainer import Trainer
 from repro.datasets import load_digits_split
 from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.runner import run_experiments
 from repro.grng import available_grngs, make_grng
 from repro.grng.quality import runs_test, stability_error
 from repro.hw.design_space import explore_design_space
@@ -68,25 +70,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    """Run every experiment; a failure doesn't stop the rest.
+    """Run every experiment (or ``--only`` a subset); failures don't stop the rest.
 
-    Exit status is non-zero when anything failed, with a per-experiment
-    summary at the end — so a long batch run reports *all* the broken
-    experiments instead of dying on the first one.
+    ``--jobs N`` fans the experiments out over a process pool — results
+    are identical to the sequential run because every experiment seeds
+    itself.  ``--cache-dir`` shares a trained-posterior artifact cache
+    across experiments (and across workers), so configurations that train
+    the same network train it once.  Exit status is non-zero when
+    anything failed, with a per-experiment summary at the end — a long
+    batch run reports *all* the broken experiments instead of dying on
+    the first one.
     """
-    failures: dict[str, Exception] = {}
-    for name in sorted(EXPERIMENTS):
-        print(f"### {name}")
-        try:
-            _run_one(name, args.out)
-        except Exception as error:  # noqa: BLE001 - keep the batch going
-            failures[name] = error
-            traceback.print_exc()
-            print(f"### {name} FAILED: {type(error).__name__}: {error}")
-    print(f"### ran {len(EXPERIMENTS)} experiments, {len(failures)} failed")
+    names = sorted(EXPERIMENTS) if not args.only else list(args.only)
+    cache_dir = str(args.cache_dir) if args.cache_dir is not None else None
+
+    def report(outcome) -> None:
+        print(f"### {outcome.name}")
+        if outcome.failed:
+            print(outcome.error, end="")
+            summary = outcome.error.splitlines()[0]
+            print(f"### {outcome.name} FAILED: {summary}")
+            return
+        print(outcome.rendered)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{outcome.name}.txt").write_text(outcome.rendered)
+
+    outcomes = run_experiments(
+        names, jobs=args.jobs, cache_dir=cache_dir, on_outcome=report
+    )
+    failures = [outcome for outcome in outcomes if outcome.failed]
+    print(f"### ran {len(outcomes)} experiments, {len(failures)} failed")
     if failures:
-        for name, error in sorted(failures.items()):
-            print(f"###   {name}: {type(error).__name__}: {error}")
+        for outcome in sorted(failures, key=lambda o: o.name):
+            print(f"###   {outcome.name}: {outcome.error.splitlines()[0]}")
         return 1
     return 0
 
@@ -246,6 +263,25 @@ def build_parser() -> argparse.ArgumentParser:
         "run-all", help="run every experiment (continues past failures)"
     )
     run_all.add_argument("--out", type=pathlib.Path, default=None)
+    run_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments across N worker processes (results identical to --jobs 1)",
+    )
+    run_all.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="EXPERIMENT",
+        help="restrict the batch to these experiments",
+    )
+    run_all.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory for the shared trained-posterior artifact cache",
+    )
     run_all.set_defaults(func=_cmd_run_all)
 
     grng = sub.add_parser("grng", help="sample a generator and report quality")

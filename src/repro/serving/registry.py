@@ -27,45 +27,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bnn.activations import inverse_softplus
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.inference import MonteCarloPredictor
 from repro.bnn.quantized import QuantizedBayesianNetwork
-from repro.bnn.serialization import load_posterior
+
+# Re-exported from its serialization home for backwards compatibility —
+# rebuilding a network from a posterior is a (de)serialization concern
+# shared by serving and the experiment artifact cache.
+from repro.bnn.serialization import load_posterior, network_from_posterior
 from repro.errors import ConfigurationError, UnknownModelError
 from repro.grng import make_grng
 from repro.grng.stream import GrngStream
 from repro.utils.seeding import derive_seed
 from repro.utils.validation import check_positive
-
-
-def network_from_posterior(
-    posterior: list[dict[str, np.ndarray]], *, prior=None, seed: int = 0
-) -> BayesianNetwork:
-    """Rebuild a :class:`BayesianNetwork` from exported ``(mu, sigma)``.
-
-    The inverse of
-    :meth:`~repro.bnn.bayesian.BayesianNetwork.posterior_parameters`:
-    layer sizes are inferred from the weight shapes, ``rho`` is recovered
-    as ``softplus^-1(sigma)``.  ``seed`` only seeds the layers' fallback
-    NumPy epsilon streams — the posterior parameters are taken verbatim.
-    """
-    if not posterior:
-        raise ConfigurationError("posterior parameter list is empty")
-    sizes = (posterior[0]["mu_weights"].shape[0],) + tuple(
-        params["mu_weights"].shape[1] for params in posterior
-    )
-    network = BayesianNetwork(sizes, prior=prior, seed=seed)
-    for layer, params in zip(network.layers, posterior):
-        layer.mu_weights = np.array(params["mu_weights"], dtype=np.float64)
-        layer.mu_bias = np.array(params["mu_bias"], dtype=np.float64)
-        layer.rho_weights = inverse_softplus(
-            np.asarray(params["sigma_weights"], dtype=np.float64)
-        )
-        layer.rho_bias = inverse_softplus(
-            np.asarray(params["sigma_bias"], dtype=np.float64)
-        )
-    return network
 
 
 def worker_stream_seed(base_seed: int, version: int, worker_index: int) -> int:

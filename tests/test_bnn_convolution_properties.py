@@ -1,0 +1,119 @@
+"""Property-based tests for the vectorized convolution kernels (hypothesis).
+
+The strided-gather im2col, block-add col2im and mask-free pooling kernels
+must be *bit-for-bit* equal to their per-position loop references over
+random shapes, kernel sizes, strides and paddings — not merely close:
+the training layer's equivalence story (and the benchmark gates) rests on
+exact equality.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn.convolution import (
+    MaxPool2dLayer,
+    col2im,
+    col2im_loop,
+    conv_output_size,
+    im2col,
+    im2col_loop,
+    maxpool_positions,
+)
+
+
+def conv_cases():
+    """(batch, channels, H, W, kernel, stride, padding) that fit."""
+    return st.tuples(
+        st.integers(1, 3),  # batch
+        st.integers(1, 3),  # channels
+        st.integers(3, 12),  # height
+        st.integers(3, 12),  # width
+        st.integers(1, 4),  # kernel
+        st.integers(1, 3),  # stride
+        st.integers(0, 2),  # padding
+    ).filter(
+        lambda case: case[2] + 2 * case[6] >= case[4]
+        and case[3] + 2 * case[6] >= case[4]
+    )
+
+
+class TestIm2ColProperties:
+    @given(conv_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_im2col_bit_exact_vs_loop(self, case, seed):
+        batch, channels, height, width, kernel, stride, padding = case
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, channels, height, width))
+        assert np.array_equal(
+            im2col(x, kernel, stride, padding),
+            im2col_loop(x, kernel, stride, padding),
+        )
+
+    @given(conv_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_col2im_bit_exact_vs_loop(self, case, seed):
+        batch, channels, height, width, kernel, stride, padding = case
+        rng = np.random.default_rng(seed)
+        out_h = conv_output_size(height, kernel, stride, padding)
+        out_w = conv_output_size(width, kernel, stride, padding)
+        grads = rng.standard_normal(
+            (batch, out_h * out_w, channels * kernel * kernel)
+        )
+        shape = (batch, channels, height, width)
+        assert np.array_equal(
+            col2im(grads, shape, kernel, stride, padding),
+            col2im_loop(grads, shape, kernel, stride, padding),
+        )
+
+    @given(conv_cases(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_adjoint_property(self, case, seed):
+        # <im2col(x), g> == <x, col2im(g)>: the defining adjoint identity
+        # that makes the conv backward pass correct for ANY geometry.
+        batch, channels, height, width, kernel, stride, padding = case
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((batch, channels, height, width))
+        patches = im2col(x, kernel, stride, padding)
+        g = rng.standard_normal(patches.shape)
+        lhs = float((patches * g).sum())
+        rhs = float((x * col2im(g, x.shape, kernel, stride, padding)).sum())
+        assert abs(lhs - rhs) <= 1e-9 * max(1.0, abs(lhs))
+
+
+class TestPoolingProperties:
+    @given(
+        st.integers(1, 3),  # batch
+        st.integers(1, 4),  # channels
+        st.integers(1, 4),  # pooled height
+        st.integers(1, 4),  # pooled width
+        st.integers(2, 3),  # pool size
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maxpool_positions_bit_exact(self, batch, channels, ph, pw, p, seed):
+        height, width = ph * p, pw * p
+        rng = np.random.default_rng(seed)
+        channel_major = rng.standard_normal((batch, channels, height, width))
+        # Position-major layout of the same activations, as produced by
+        # the convolution GEMM: (batch, H * W, C).
+        positions = np.ascontiguousarray(
+            channel_major.transpose(0, 2, 3, 1).reshape(
+                batch, height * width, channels
+            )
+        )
+        assert np.array_equal(
+            maxpool_positions(positions, height, width, p),
+            MaxPool2dLayer(p).forward(channel_major),
+        )
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(2, 3), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_stacked_pool_forward_matches_per_sample(self, samples, channels, p, seed):
+        # The pool layer accepts leading sample axes; slicing the stacked
+        # result must equal pooling each sample individually.
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((samples, 2, channels, 4 * p, 2 * p))
+        stacked = MaxPool2dLayer(p).forward(x)
+        for index in range(samples):
+            assert np.array_equal(stacked[index], MaxPool2dLayer(p).forward(x[index]))

@@ -54,6 +54,8 @@ class _FakeExperiment:
 class TestRunAllRobustness:
     @pytest.fixture()
     def fake_registry(self, monkeypatch):
+        from repro.experiments import registry
+
         experiments = {
             "aaa-ok": _FakeExperiment(fail=False),
             "bbb-bad": _FakeExperiment(fail=True),
@@ -61,6 +63,8 @@ class TestRunAllRobustness:
         }
         monkeypatch.setattr(cli, "EXPERIMENTS", experiments)
         monkeypatch.setattr(cli, "get_experiment", experiments.__getitem__)
+        # run-all resolves through the runner, which reads the registry.
+        monkeypatch.setattr(registry, "EXPERIMENTS", experiments)
         return experiments
 
     def test_continues_past_failure_and_exits_nonzero(self, fake_registry, capsys):
