@@ -22,10 +22,24 @@ Sections:
    to a direct ``predict_proba_batched`` call with the same seed and batch
    composition (always enforced, even with ``--quick``).
 
-Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+``--adaptive`` runs the **adaptive Monte-Carlo section instead**: a
+trained digits model served fixed-``N`` vs adaptively (sequential-
+confidence early exit + shared weight stacks, :mod:`repro.bnn.adaptive`),
+with three gates:
+
+* early exit *disabled* must be bit-for-bit identical to the fixed path
+  (always enforced);
+* adaptive vs fixed top-1 accuracy on a 512-row digits eval set must
+  match within **0.2%** (always enforced — a single flipped row is
+  ~0.195%, so the budget is at most one flip);
+* adaptive effective throughput must be **>= 3x** the fixed path
+  (full mode only; CI machines are too noisy for absolute ratios).
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--adaptive]
 
 ``--quick`` shrinks the workload for CI smoke runs and skips the absolute
-5x gate (CI machines are noisy); the equivalence gate always applies.
+speedup gates (CI machines are noisy); the equivalence and accuracy-delta
+gates always apply.
 """
 
 from __future__ import annotations
@@ -36,8 +50,10 @@ import time
 
 import numpy as np
 
+from repro.bnn.adaptive import AdaptiveConfig
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.trainer import Trainer
 from repro.datasets import load_digits_split
 from repro.grng import GrngStream, make_grng
 from repro.serving import (
@@ -53,10 +69,24 @@ SEED = 0
 MODEL = "digits"
 
 
-def make_service(network: BayesianNetwork, n_samples: int, **config) -> BnnService:
+def make_service(
+    network: BayesianNetwork,
+    n_samples: int,
+    adaptive: AdaptiveConfig | None = None,
+    share_weight_stacks: bool = False,
+    **config,
+) -> BnnService:
     """Service over ``network`` with caching off (measure compute, not hits)."""
     service = BnnService(config=ServiceConfig(cache_capacity=0, **config))
-    service.register_network(MODEL, network, n_samples=n_samples, grng=GRNG, seed=SEED)
+    service.register_network(
+        MODEL,
+        network,
+        n_samples=n_samples,
+        grng=GRNG,
+        seed=SEED,
+        adaptive=adaptive,
+        share_weight_stacks=share_weight_stacks,
+    )
     return service
 
 
@@ -170,6 +200,123 @@ def check_equivalence(network: BayesianNetwork, images: np.ndarray, n_samples: i
     return identical
 
 
+def bench_adaptive(quick: bool) -> int:
+    """Adaptive MC (early exit + shared weight stacks) vs the fixed-``N`` path.
+
+    The adaptive claim needs a *trained* model: an untrained posterior's
+    predictive gaps never clear the Hoeffding bound and no row exits, so
+    the section trains for a couple of epochs first (seeded — the whole
+    section is deterministic apart from wall-clock timings).
+    """
+    from repro.bnn.optimizers import Adam
+    from repro.experiments.training import make_bnn
+
+    n_samples = 32 if quick else 64
+    config = AdaptiveConfig(chunk=8, exit_delta=0.05)
+    eval_rows = 512  # one flipped row = 0.195% <= the 0.2% budget
+    total = 192 if quick else 1024
+    x_train, y_train, x_test, y_test = load_digits_split(
+        n_train=512 if quick else 800, n_test=eval_rows, seed=SEED
+    )
+    network = make_bnn((784, 64, 10), seed=SEED)
+    Trainer(
+        network, Adam(3e-3), batch_size=32, epochs=6 if quick else 10, seed=SEED
+    ).fit(x_train, y_train)
+    print(
+        f"== Adaptive MC vs fixed-N (digits, {eval_rows} eval rows, "
+        f"N={n_samples}, chunk={config.chunk}, delta={config.exit_delta}, "
+        f"grng={GRNG})"
+    )
+
+    # Gate 1 (always enforced): with the exit bound disabled the adaptive
+    # path must reproduce the fixed path bit for bit.
+    with make_service(network, n_samples, workers=0, max_batch=64) as service:
+        fixed_probs = service.predict_many(MODEL, x_test)
+    disabled = AdaptiveConfig(chunk=config.chunk, exit_delta=None)
+    with make_service(
+        network, n_samples, adaptive=disabled, workers=0, max_batch=64
+    ) as service:
+        disabled_probs = service.predict_many(MODEL, x_test)
+    bit_exact = fixed_probs.shape == disabled_probs.shape and bool(
+        (fixed_probs == disabled_probs).all()
+    )
+    print(
+        "exit bound disabled vs fixed path: "
+        + ("bit-for-bit identical" if bit_exact else "MISMATCH")
+    )
+
+    # Gate 2 (always enforced): matched accuracy on the eval set.  The
+    # comparison holds the sampled ensemble fixed — adaptive early exit vs
+    # the full-N average over the *same* shared weight stacks — so the
+    # delta measures exactly the accuracy cost of exiting early, not the
+    # Monte-Carlo noise between two independent epsilon draws (two honest
+    # fixed-N estimates with different seeds already differ by more than
+    # the 0.2% budget at these sample counts).
+    fixedn = AdaptiveConfig(chunk=config.chunk, exit_delta=None)
+    with make_service(
+        network,
+        n_samples,
+        adaptive=fixedn,
+        share_weight_stacks=True,
+        workers=0,
+        max_batch=64,
+    ) as service:
+        fixedn_probs = service.predict_many(MODEL, x_test)
+    with make_service(
+        network,
+        n_samples,
+        adaptive=config,
+        share_weight_stacks=True,
+        workers=0,
+        max_batch=64,
+    ) as service:
+        adaptive_probs = service.predict_many(MODEL, x_test)
+        snap = service.stats()
+    acc_fixed = float((fixedn_probs.argmax(axis=1) == y_test).mean())
+    acc_adaptive = float((adaptive_probs.argmax(axis=1) == y_test).mean())
+    acc_delta = abs(acc_fixed - acc_adaptive)
+    print(
+        f"accuracy (matched ensemble): fixed-N {acc_fixed:.2%}, "
+        f"adaptive {acc_adaptive:.2%} (|delta| = {acc_delta:.3%}, budget 0.2%)"
+    )
+    print(
+        f"adaptive passes: mean {snap['adaptive_mean_passes']:.1f} of {n_samples} "
+        f"({snap['adaptive_saved_fraction']:.1%} saved)"
+    )
+
+    # Gate 3 (full mode): effective closed-loop throughput >= 3x fixed.
+    with make_service(network, n_samples, workers=0, max_batch=64) as service:
+        fixed_stats = run_closed_loop(service, MODEL, x_test, total_requests=total)
+    with make_service(
+        network,
+        n_samples,
+        adaptive=config,
+        share_weight_stacks=True,
+        workers=0,
+        max_batch=64,
+    ) as service:
+        adaptive_stats = run_closed_loop(service, MODEL, x_test, total_requests=total)
+    ratio = adaptive_stats.throughput_rps / fixed_stats.throughput_rps
+    print(
+        f"throughput: fixed {fixed_stats.throughput_rps:,.1f} req/s, "
+        f"adaptive {adaptive_stats.throughput_rps:,.1f} req/s "
+        f"({ratio:.1f}x, target >= 3x{' — not enforced in --quick' if quick else ''})"
+    )
+    print()
+
+    failed = False
+    if not bit_exact:
+        print("FAIL: adaptive path with exit disabled diverged from fixed-N")
+        failed = True
+    if acc_delta > 0.002:
+        print(f"FAIL: accuracy delta {acc_delta:.3%} exceeds the 0.2% budget")
+        failed = True
+    if not quick and ratio < 3.0:
+        print(f"FAIL: adaptive speedup {ratio:.1f}x below the 3x target")
+        failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -177,7 +324,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI smoke mode: tiny workload, no absolute-speedup enforcement",
     )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the adaptive-vs-fixed Monte-Carlo section instead",
+    )
     args = parser.parse_args(argv)
+    if args.adaptive:
+        return bench_adaptive(args.quick)
     n_samples = 5 if args.quick else 20
     n_images = 64 if args.quick else 256
     _, _, images, _ = load_digits_split(n_train=10, n_test=n_images, seed=SEED)

@@ -17,15 +17,25 @@ Pure-NumPy implementations of everything the paper's software side needs:
 """
 
 from repro.bnn.activations import relu, relu_grad, sigmoid, softmax, softplus
+from repro.bnn.adaptive import (
+    AdaptiveConfig,
+    AdaptivePredictor,
+    AdaptiveQuantizedPredictor,
+    AdaptiveResult,
+    concentration_bound,
+    run_adaptive,
+)
 from repro.bnn.bayesian import BayesianDenseLayer, BayesianNetwork
 from repro.bnn.conv_network import BayesianConvNetwork
 from repro.bnn.convolution import BayesianConv2dLayer, MaxPool2dLayer
 from repro.bnn.inference import (
     MonteCarloPredictor,
+    build_weight_stacks,
     draw_layer_epsilons,
     split_epsilon_block,
     stacked_epsilons,
     stacked_forward,
+    stacked_forward_stacks,
 )
 from repro.bnn.regression import BayesianRegressor
 from repro.bnn.serialization import export_memory_image, load_posterior, save_posterior
@@ -52,11 +62,19 @@ __all__ = [
     "export_memory_image",
     "load_posterior",
     "save_posterior",
+    "AdaptiveConfig",
+    "AdaptivePredictor",
+    "AdaptiveQuantizedPredictor",
+    "AdaptiveResult",
+    "concentration_bound",
+    "run_adaptive",
     "MonteCarloPredictor",
+    "build_weight_stacks",
     "draw_layer_epsilons",
     "split_epsilon_block",
     "stacked_epsilons",
     "stacked_forward",
+    "stacked_forward_stacks",
     "cross_entropy_loss",
     "accuracy",
     "negative_log_likelihood",

@@ -106,36 +106,47 @@ def stacked_epsilons(layers, n_samples: int, grng: Grng | None) -> list[tuple[np
     return split_epsilon_block(layers, block)
 
 
-def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
-    """Run all Monte-Carlo forward passes off stacked weight tensors.
+def build_weight_stacks(layers, epsilons) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Materialise sampled weight stacks ``w = mu + sigma * eps`` per layer.
 
-    ``x`` has shape ``(batch, in)``; ``epsilons`` is the per-layer list
-    from :func:`split_epsilon_block` / :func:`draw_layer_epsilons`.  Each
-    layer's sampled weights ``w = mu + sigma * eps`` are built as one
-    ``(S, in, out)`` tensor op — a single softplus per layer instead of
-    one per MC pass — and the passes then run sample-outermost as 2-D
-    GEMM slices, bit-identical to the reference loop's per-pass matmuls
-    (a stacked 3-D matmul may tile differently) while keeping the
-    per-pass working set at the loop path's cache-friendly size instead
-    of an ``S``-times-larger hidden stack.  Returns logits of shape
-    ``(S, batch, out)``.
+    ``epsilons`` is the per-layer list from :func:`split_epsilon_block` /
+    :func:`draw_layer_epsilons`; each layer's stacks are built as one
+    ``(S, in, out)`` / ``(S, out)`` tensor op — a single softplus per
+    layer instead of one per MC pass.  The result is a self-contained
+    ensemble of ``S`` sampled networks: :func:`stacked_forward_stacks`
+    runs batches against it, and the serving weight-stack cache shares
+    one such ensemble across concurrent requests.
     """
-    x = np.asarray(x, dtype=np.float64)
-    in_features = layers[0].mu_weights.shape[0]
-    if x.ndim != 2 or x.shape[1] != in_features:
-        raise ConfigurationError(
-            f"expected input shape (batch, {in_features}), got {x.shape}"
-        )
-    stacks = [
+    return [
         (
             layer.mu_weights + layer.sigma_weights() * eps_w,
             layer.mu_bias + layer.sigma_bias() * eps_b,
         )
         for layer, (eps_w, eps_b) in zip(layers, epsilons)
     ]
+
+
+def stacked_forward_stacks(stacks, x: np.ndarray) -> np.ndarray:
+    """Run all Monte-Carlo passes of ``x`` off prebuilt weight stacks.
+
+    ``stacks`` is the per-layer ``(w, b)`` list from
+    :func:`build_weight_stacks` (a slice of a larger stack works too —
+    the sample axis is the outer loop).  The passes run sample-outermost
+    as 2-D GEMM slices, bit-identical to the reference loop's per-pass
+    matmuls (a stacked 3-D matmul may tile differently) while keeping the
+    per-pass working set at the loop path's cache-friendly size instead
+    of an ``S``-times-larger hidden stack.  Returns logits of shape
+    ``(S, batch, out)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    in_features = stacks[0][0].shape[1]
+    if x.ndim != 2 or x.shape[1] != in_features:
+        raise ConfigurationError(
+            f"expected input shape (batch, {in_features}), got {x.shape}"
+        )
     n_samples = stacks[0][0].shape[0]
-    last = len(layers) - 1
-    logits = np.empty((n_samples, x.shape[0], layers[-1].mu_weights.shape[1]))
+    last = len(stacks) - 1
+    logits = np.empty((n_samples, x.shape[0], stacks[-1][0].shape[2]))
     for sample in range(n_samples):
         hidden = x
         for index, (weights, bias) in enumerate(stacks):
@@ -143,6 +154,18 @@ def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
             hidden = relu(pre) if index < last else pre
         logits[sample] = hidden
     return logits
+
+
+def stacked_forward(layers, x: np.ndarray, epsilons) -> np.ndarray:
+    """Run all Monte-Carlo forward passes off stacked weight tensors.
+
+    ``x`` has shape ``(batch, in)``; ``epsilons`` is the per-layer list
+    from :func:`split_epsilon_block` / :func:`draw_layer_epsilons`.
+    Composition of :func:`build_weight_stacks` (one softplus per layer)
+    and :func:`stacked_forward_stacks` (sample-outermost 2-D GEMM
+    slices).  Returns logits of shape ``(S, batch, out)``.
+    """
+    return stacked_forward_stacks(build_weight_stacks(layers, epsilons), x)
 
 
 def stacked_softmax_average(logits: np.ndarray) -> np.ndarray:
@@ -215,6 +238,25 @@ class MonteCarloPredictor:
         # Slice-by-slice sample average: bit-identical to the reference
         # loop's sequential accumulation.
         return stacked_softmax_average(logits)
+
+    def chunk_probs(self, x: np.ndarray, start: int, size: int) -> np.ndarray:
+        """Per-pass softmax rows of the next ``size`` MC passes.
+
+        The chunk seam of the adaptive early-exit path
+        (:mod:`repro.bnn.adaptive`): epsilons for ``size`` passes are
+        drawn as one block and the passes run stacked, so consuming
+        ``n_samples`` passes chunk by chunk draws exactly the same
+        epsilon stream — and computes bit-identical per-pass
+        probabilities — as one :meth:`predict_proba_batched` call for any
+        call-pattern-invariant generator (every generator behind a
+        :class:`~repro.grng.stream.GrngStream`; the per-layer NumPy
+        fallback).  ``start`` is positional bookkeeping for stack-backed
+        implementations of this seam; a live stream simply advances.
+        Returns probabilities of shape ``(size, batch, classes)``.
+        """
+        del start  # the stream advances; only stack-backed sources index
+        epsilons = stacked_epsilons(self.network.layers, size, self.grng)
+        return softmax(stacked_forward(self.network.layers, x, epsilons))
 
     # ------------------------------------------------------------------
     # Reference loop (kept for equivalence tests and as documentation of

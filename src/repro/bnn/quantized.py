@@ -351,7 +351,9 @@ class QuantizedBayesianNetwork:
                 return acc
         raise ConfigurationError("no layers")  # pragma: no cover
 
-    def forward_stacked_codes(self, x_codes: np.ndarray, n_samples: int) -> np.ndarray:
+    def forward_stacked_codes(
+        self, x_codes: np.ndarray, n_samples: int, sampled=None
+    ) -> np.ndarray:
         """All ``n_samples`` stochastic passes as one stacked int64 computation.
 
         Draws every pass's epsilons as a single ``(n_samples,
@@ -363,13 +365,25 @@ class QuantizedBayesianNetwork:
         :class:`~repro.grng.stream.GrngStream`; the NumPy fallback): every
         arithmetic step is the same exact integer operation, only batched.
 
+        ``sampled`` optionally supplies prebuilt per-layer weight stacks
+        (the :meth:`sample_weight_stacks` shape, or a sample-axis slice of
+        one) instead of drawing fresh epsilons — the seam the serving
+        weight-stack cache uses to share one sampled ensemble across
+        requests.  ``n_samples`` must then match the stack depth.
+
         Returns logits codes of shape ``(n_samples, batch, out)``.
         """
         if x_codes.ndim != 2 or x_codes.shape[1] != self.layer_sizes[0]:
             raise ConfigurationError(
                 f"expected codes of shape (batch, {self.layer_sizes[0]}), got {x_codes.shape}"
             )
-        sampled = self.sample_weight_stacks(n_samples)
+        if sampled is None:
+            sampled = self.sample_weight_stacks(n_samples)
+        elif sampled[0][0].shape[0] != n_samples:
+            raise ConfigurationError(
+                f"supplied weight stacks hold {sampled[0][0].shape[0]} samples, "
+                f"expected {n_samples}"
+            )
         batch = x_codes.shape[0]
         x64 = x_codes.astype(np.int64)
         hidden: np.ndarray | None = None  # None means "x shared across samples"
@@ -425,6 +439,22 @@ class QuantizedBayesianNetwork:
         for sample in range(n_samples):
             total += softmax(self.act_fmt.dequantize(logits_codes[sample]))
         return total / n_samples
+
+    def chunk_probs(self, x: np.ndarray, start: int, size: int) -> np.ndarray:
+        """Per-pass softmax rows of the next ``size`` fixed-point MC passes.
+
+        The quantized instance of the adaptive chunk seam (see
+        :meth:`repro.bnn.inference.MonteCarloPredictor.chunk_probs`):
+        chunked consumption draws the same epsilon code stream — and
+        yields bit-identical per-pass probabilities — as one
+        :meth:`predict_proba` call behind any call-pattern-invariant
+        generator.  ``start`` is ignored; the stream advances.
+        """
+        del start
+        check_positive("size", size)
+        x_codes = self.act_fmt.quantize(np.asarray(x, dtype=np.float64))
+        logits_codes = self.forward_stacked_codes(x_codes, size)
+        return softmax(self.act_fmt.dequantize(logits_codes))
 
     def predict_proba_loop(self, x: np.ndarray, n_samples: int = 10) -> np.ndarray:
         """Reference loop: one :meth:`forward_sample_codes` per MC pass."""

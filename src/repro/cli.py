@@ -32,13 +32,14 @@ import tempfile
 
 import numpy as np
 
+from repro.bnn.adaptive import AdaptiveConfig
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.serialization import save_posterior
 from repro.bnn.trainer import Trainer
 from repro.datasets import load_digits_split
 from repro.experiments import EXPERIMENTS, get_experiment
 from repro.experiments.runner import run_experiments
-from repro.grng import available_grngs, make_grng
+from repro.grng import VARIANCE_REDUCTIONS, available_grngs, make_grng
 from repro.grng.quality import runs_test, stability_error
 from repro.hw.design_space import explore_design_space
 from repro.serving import BnnService, ServiceConfig, run_closed_loop, run_open_loop
@@ -161,18 +162,36 @@ def _build_demo_service(
             cache_capacity=args.cache_capacity,
         )
     )
+    adaptive = (
+        AdaptiveConfig(chunk=args.adaptive_chunk, exit_delta=args.adaptive_delta)
+        if args.adaptive
+        else None
+    )
     service.register_file(
         args.model_name,
         model_path,
         n_samples=args.n_samples,
         grng=args.grng,
         seed=args.seed,
+        variance_reduction=args.variance_reduction,
+        share_weight_stacks=args.share_weight_stacks,
+        adaptive=adaptive,
     )
+    extras = []
+    if adaptive is not None:
+        extras.append(
+            f"adaptive(chunk={adaptive.chunk}, delta={adaptive.exit_delta})"
+        )
+    if args.share_weight_stacks:
+        extras.append("shared-stacks")
+    if args.variance_reduction != "plain":
+        extras.append(args.variance_reduction)
     print(
         f"serving {args.model_name!r} (784-{args.hidden}-10, N={args.n_samples}, "
         f"grng={args.grng}) from {model_path.name}: "
         f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms, "
         f"workers={args.workers}"
+        + (f" [{', '.join(extras)}]" if extras else "")
     )
     return service, x_test
 
@@ -193,6 +212,31 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queue-capacity", type=int, default=1024)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--cache-capacity", type=int, default=4096)
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable sequential-confidence early exit (adaptive MC)",
+    )
+    parser.add_argument(
+        "--adaptive-chunk", type=int, default=8, help="MC passes per exit check"
+    )
+    parser.add_argument(
+        "--adaptive-delta",
+        type=float,
+        default=0.05,
+        help="Hoeffding exit confidence (smaller = stricter = later exits)",
+    )
+    parser.add_argument(
+        "--variance-reduction",
+        choices=VARIANCE_REDUCTIONS,
+        default="plain",
+        help="epsilon-stream variance reduction",
+    )
+    parser.add_argument(
+        "--share-weight-stacks",
+        action="store_true",
+        help="serve off one cached sampled weight ensemble shared across requests",
+    )
 
 
 def _run_demo_workload(args: argparse.Namespace, run) -> int:

@@ -33,15 +33,26 @@ from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.factory import available_grngs, make_grng
 from repro.grng.lut_icdf import LutIcdfGrng
 from repro.grng.rlf import ParallelRlfGrng, RlfGrng, RlfLogic
-from repro.grng.stream import BlockGrng, GrngStream
+from repro.grng.stream import (
+    VARIANCE_REDUCTIONS,
+    AntitheticGrngStream,
+    BlockGrng,
+    GrngStream,
+    StratifiedGrngStream,
+    make_stream,
+)
 from repro.grng.wallace import SoftwareWallaceGrng, hadamard_transform
 from repro.grng.ziggurat import ZigguratGrng
 
 __all__ = [
     "Grng",
     "NumpyGrng",
+    "AntitheticGrngStream",
     "BlockGrng",
     "GrngStream",
+    "StratifiedGrngStream",
+    "VARIANCE_REDUCTIONS",
+    "make_stream",
     "BoxMullerGrng",
     "CdfInversionGrng",
     "BinomialLfsrGrng",

@@ -9,13 +9,22 @@ single-image requests are coalesced into the large
 
 Modules
 -------
-``registry``  named/versioned models loaded from saved posteriors
-``batcher``   bounded request queue + micro-batch coalescing (backpressure)
-``workers``   serving threads with per-worker decorrelated GRNG streams
-``cache``     LRU prediction cache on (model, version, N, input digest)
-``metrics``   latency percentiles, batch histogram, queue/cache gauges
-``service``   the :class:`BnnService` façade (``submit`` / ``predict_many``)
-``loadgen``   open- and closed-loop load-test harness
+``registry``     named/versioned models loaded from saved posteriors
+``batcher``      bounded request queue + micro-batch coalescing (backpressure)
+``workers``      serving threads with per-worker decorrelated GRNG streams
+``cache``        LRU prediction cache on (model, version, N, input digest)
+``weight_stack`` shared sampled-ensemble cache on (model, version, N, position)
+``predictors``   predictors serving off the shared weight-stack cache
+``metrics``      latency percentiles, batch histogram, queue/cache gauges
+``service``      the :class:`BnnService` façade (``submit`` / ``predict_many``)
+``loadgen``      open- and closed-loop load-test harness
+
+Models can additionally opt into the **adaptive Monte-Carlo** path
+(:mod:`repro.bnn.adaptive`): per-model ``adaptive=AdaptiveConfig(...)``
+enables sequential-confidence early exit, ``share_weight_stacks=True``
+serves off one cached sampled ensemble, and ``variance_reduction=
+"antithetic" | "stratified"`` swaps the epsilon stream
+(:func:`repro.grng.make_stream`).
 
 See ``docs/SERVING.md`` for the architecture, tuning knobs, and measured
 throughput; ``benchmarks/bench_serving.py`` is the end-to-end benchmark
@@ -26,6 +35,11 @@ from repro.serving.batcher import Batch, MicroBatcher, PredictionTicket
 from repro.serving.cache import PredictionCache, input_digest
 from repro.serving.loadgen import LoadStats, run_closed_loop, run_open_loop
 from repro.serving.metrics import ServiceMetrics
+from repro.serving.predictors import (
+    QuantizedSharedStackPredictor,
+    SharedStackPredictor,
+    slice_stacks,
+)
 from repro.serving.registry import (
     ModelEntry,
     ModelRegistry,
@@ -33,6 +47,7 @@ from repro.serving.registry import (
     worker_stream_seed,
 )
 from repro.serving.service import BnnService, ServiceConfig
+from repro.serving.weight_stack import WeightStackCache
 from repro.serving.workers import ServingWorker, WorkerPool
 
 __all__ = [
@@ -44,13 +59,17 @@ __all__ = [
     "ModelRegistry",
     "PredictionCache",
     "PredictionTicket",
+    "QuantizedSharedStackPredictor",
     "ServiceConfig",
     "ServiceMetrics",
     "ServingWorker",
+    "SharedStackPredictor",
+    "WeightStackCache",
     "WorkerPool",
     "input_digest",
     "network_from_posterior",
     "run_closed_loop",
     "run_open_loop",
+    "slice_stacks",
     "worker_stream_seed",
 ]

@@ -69,6 +69,11 @@ class ServiceMetrics:
         self._batch_histogram: dict[int, int] = {}
         self.max_queue_depth = 0
         self.last_queue_depth = 0
+        # Adaptive early exit: rows served adaptively, MC passes actually
+        # run for them, and the fixed-N pass budget they would have cost.
+        self.adaptive_rows = 0
+        self.adaptive_passes = 0
+        self.adaptive_pass_budget = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -99,6 +104,21 @@ class ServiceMetrics:
             self.batches += 1
             self.batch_rows += size
             self._batch_histogram[size] = self._batch_histogram.get(size, 0) + 1
+
+    def record_adaptive(self, pass_counts, max_samples: int) -> None:
+        """Account one adaptive batch's per-row MC pass counts.
+
+        ``pass_counts`` is the per-row vector the early-exit predictor
+        retains (:meth:`~repro.bnn.adaptive.AdaptivePredictor.pop_pass_counts`);
+        ``max_samples`` is the fixed-``N`` budget those rows would have
+        cost, so the snapshot's saved-pass fraction is
+        ``1 - passes / budget``.
+        """
+        counts = np.asarray(pass_counts)
+        with self._lock:
+            self.adaptive_rows += int(counts.size)
+            self.adaptive_passes += int(counts.sum())
+            self.adaptive_pass_budget += int(counts.size) * int(max_samples)
 
     def record_queue_depth(self, depth: int) -> None:
         with self._lock:
@@ -137,6 +157,14 @@ class ServiceMetrics:
         mean_batch = self.mean_batch_size()
         hit_rate = self.cache_hit_rate()
         with self._lock:
+            mean_passes = (
+                self.adaptive_passes / self.adaptive_rows if self.adaptive_rows else 0.0
+            )
+            saved = (
+                1.0 - self.adaptive_passes / self.adaptive_pass_budget
+                if self.adaptive_pass_budget
+                else 0.0
+            )
             return {
                 "requests_served": self.requests_served,
                 "requests_failed": self.requests_failed,
@@ -150,6 +178,10 @@ class ServiceMetrics:
                 "cache_hit_rate": hit_rate,
                 "max_queue_depth": self.max_queue_depth,
                 "last_queue_depth": self.last_queue_depth,
+                "adaptive_rows": self.adaptive_rows,
+                "adaptive_passes": self.adaptive_passes,
+                "adaptive_mean_passes": mean_passes,
+                "adaptive_saved_fraction": saved,
             }
 
     def render(self) -> str:
@@ -170,4 +202,10 @@ class ServiceMetrics:
             f"({snap['cache_hit_rate'] * 100.0:.1f}% hit rate)",
             f"queue depth     : max {snap['max_queue_depth']}, last {snap['last_queue_depth']}",
         ]
+        if snap["adaptive_rows"]:
+            lines.append(
+                f"adaptive        : {snap['adaptive_rows']} rows, "
+                f"mean {snap['adaptive_mean_passes']:.1f} passes "
+                f"({snap['adaptive_saved_fraction'] * 100.0:.1f}% passes saved)"
+            )
         return "\n".join(lines)

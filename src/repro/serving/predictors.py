@@ -1,0 +1,104 @@
+"""Shared-weight-stack predictors: serve off a cached sampled ensemble.
+
+The per-worker predictors built by
+:meth:`~repro.serving.registry.ModelEntry.build_predictor` redraw every
+epsilon for every batch.  The predictors here instead *read* their sampled
+weights from the service-wide
+:class:`~repro.serving.weight_stack.WeightStackCache`, so concurrent
+requests against the same ``(model, version, N)`` cost one stream draw
+total — the throughput lever ``share_weight_stacks`` turns on.
+
+Both predictors expose the two surfaces the rest of the stack drives:
+
+* ``predict_proba_batched(x)`` — the worker surface
+  (:meth:`~repro.serving.workers.ServingWorker.execute`), one fixed-``N``
+  MC-averaged call;
+* ``chunk_probs(x, start, size)`` — the adaptive chunk seam
+  (:mod:`repro.bnn.adaptive`).  Stack-backed implementations *use*
+  ``start``: chunk ``k`` slices passes ``start .. start+size`` out of the
+  cached ensemble, so chunked consumption visits exactly the passes the
+  fixed path stacks — the bit-exact-fallback contract holds here just as
+  it does for live streams.
+
+The stacks are fetched from the cache on **every** call, never pinned at
+construction: a reload (version bump) or
+:meth:`~repro.serving.service.BnnService.refresh_weight_stacks` (position
+bump) is picked up by the next batch without rebuilding predictors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bnn.activations import softmax
+from repro.bnn.inference import stacked_forward_stacks, stacked_softmax_average
+from repro.bnn.quantized import QuantizedBayesianNetwork
+
+
+def slice_stacks(stacks, start: int, size: int):
+    """Per-layer ``(w, b)`` views of passes ``start .. start+size``.
+
+    Works for both stack flavours (float tensors and fixed-point codes):
+    the sample axis is leading in each.
+    """
+    return [(w[start : start + size], b[start : start + size]) for w, b in stacks]
+
+
+class SharedStackPredictor:
+    """Float-path predictor reading its sampled weights from the stack cache."""
+
+    def __init__(self, entry, stack_cache) -> None:
+        self.entry = entry
+        self.stack_cache = stack_cache
+        self.n_samples = entry.n_samples
+
+    def _stacks(self):
+        return self.stack_cache.get_or_create(self.entry)
+
+    def predict_proba_batched(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (6) off the shared ensemble: no epsilon draw on this path."""
+        x = np.asarray(x, dtype=np.float64)
+        return stacked_softmax_average(stacked_forward_stacks(self._stacks(), x))
+
+    def chunk_probs(self, x: np.ndarray, start: int, size: int) -> np.ndarray:
+        """Adaptive chunk seam: slice passes ``start..start+size`` of the stack."""
+        stacks = slice_stacks(self._stacks(), start, size)
+        return softmax(stacked_forward_stacks(stacks, np.asarray(x, dtype=np.float64)))
+
+
+class QuantizedSharedStackPredictor:
+    """Fixed-point predictor reading sampled weight codes from the stack cache.
+
+    ``network`` supplies the datapath (formats, MAC tree) only — its own
+    epsilon source is never consulted because every call passes ``sampled``
+    stacks into
+    :meth:`~repro.bnn.quantized.QuantizedBayesianNetwork.forward_stacked_codes`.
+    """
+
+    def __init__(
+        self, entry, stack_cache, network: QuantizedBayesianNetwork
+    ) -> None:
+        self.entry = entry
+        self.stack_cache = stack_cache
+        self.network = network
+        self.n_samples = entry.n_samples
+
+    def _stacks(self):
+        return self.stack_cache.get_or_create(self.entry)
+
+    def predict_proba_batched(self, x: np.ndarray) -> np.ndarray:
+        x_codes = self.network.act_fmt.quantize(np.asarray(x, dtype=np.float64))
+        logits_codes = self.network.forward_stacked_codes(
+            x_codes, self.n_samples, sampled=self._stacks()
+        )
+        total = np.zeros((x_codes.shape[0], self.network.layer_sizes[-1]))
+        # Sample-sequential accumulation, bit-identical to the fixed path.
+        for sample in range(self.n_samples):
+            total += softmax(self.network.act_fmt.dequantize(logits_codes[sample]))
+        return total / self.n_samples
+
+    def chunk_probs(self, x: np.ndarray, start: int, size: int) -> np.ndarray:
+        x_codes = self.network.act_fmt.quantize(np.asarray(x, dtype=np.float64))
+        sampled = slice_stacks(self._stacks(), start, size)
+        logits_codes = self.network.forward_stacked_codes(x_codes, size, sampled=sampled)
+        return softmax(self.network.act_fmt.dequantize(logits_codes))

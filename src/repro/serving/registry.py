@@ -27,8 +27,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bnn.adaptive import AdaptiveConfig, AdaptivePredictor
 from repro.bnn.bayesian import BayesianNetwork
-from repro.bnn.inference import MonteCarloPredictor
+from repro.bnn.inference import (
+    MonteCarloPredictor,
+    build_weight_stacks,
+    stacked_epsilons,
+)
 from repro.bnn.quantized import QuantizedBayesianNetwork
 
 # Re-exported from its serialization home for backwards compatibility —
@@ -36,8 +41,12 @@ from repro.bnn.quantized import QuantizedBayesianNetwork
 # shared by serving and the experiment artifact cache.
 from repro.bnn.serialization import load_posterior, network_from_posterior
 from repro.errors import ConfigurationError, UnknownModelError
-from repro.grng import make_grng
+from repro.grng import VARIANCE_REDUCTIONS, make_grng, make_stream
 from repro.grng.stream import GrngStream
+from repro.serving.predictors import (
+    QuantizedSharedStackPredictor,
+    SharedStackPredictor,
+)
 from repro.utils.seeding import derive_seed
 from repro.utils.validation import check_positive
 
@@ -69,6 +78,10 @@ class QuantizedServingPredictor:
         """One stacked fixed-point MC call over the coalesced batch."""
         return self.network.predict_proba(x, n_samples=self.n_samples)
 
+    def chunk_probs(self, x: np.ndarray, start: int, size: int) -> np.ndarray:
+        """Adaptive chunk seam, delegated to the fixed-point datapath."""
+        return self.network.chunk_probs(x, start, size)
+
 
 @dataclass
 class ModelEntry:
@@ -97,12 +110,23 @@ class ModelEntry:
     bit_length: int = 8
     #: Exported posterior parameters (quantized kind only).
     posterior: "list[dict[str, np.ndarray]] | None" = None
+    #: Epsilon-stream variance reduction (:data:`~repro.grng.VARIANCE_REDUCTIONS`).
+    variance_reduction: str = "plain"
+    #: Serve off one cached sampled ensemble shared across workers/batches.
+    share_weight_stacks: bool = False
+    #: Early-exit configuration; ``None`` keeps the fixed-``N`` path.
+    adaptive: AdaptiveConfig | None = None
     #: Serialized requests must match this row width.
     in_features: int = field(init=False)
     out_features: int = field(init=False)
 
     def __post_init__(self) -> None:
         check_positive("n_samples", self.n_samples)
+        if self.variance_reduction not in VARIANCE_REDUCTIONS:
+            raise ConfigurationError(
+                f"unknown variance reduction {self.variance_reduction!r}; "
+                f"expected one of {', '.join(VARIANCE_REDUCTIONS)}"
+            )
         if self.kind == "quantized":
             if not self.posterior:
                 raise ConfigurationError(
@@ -120,23 +144,97 @@ class ModelEntry:
                 f"unknown model kind {self.kind!r}; expected 'float' or 'quantized'"
             )
 
-    def build_predictor(self, worker_index: int):
-        """Fresh batched predictor with this worker's decorrelated stream."""
-        stream_seed = worker_stream_seed(self.seed, self.version, worker_index)
-        grng = GrngStream(make_grng(self.grng_name, seed=stream_seed))
+    def eps_per_pass(self) -> int:
+        """Epsilons one forward pass consumes — the variance-reduction period."""
         if self.kind == "quantized":
-            return QuantizedServingPredictor(
-                QuantizedBayesianNetwork(
-                    self.posterior,
-                    bit_length=self.bit_length,
-                    grng=grng,
-                    seed=stream_seed,
-                ),
-                self.n_samples,
+            return sum(
+                params["mu_weights"].size + params["mu_bias"].size
+                for params in self.posterior
             )
-        return MonteCarloPredictor(
-            self.network, grng=grng, n_samples=self.n_samples, batched=True
+        return self.network.weight_count()
+
+    def _make_stream(self, stream_seed: int) -> GrngStream:
+        """The entry's epsilon stream: named GRNG behind the configured
+        variance reduction (``"plain"`` is exactly the classic
+        :class:`~repro.grng.stream.GrngStream` wrap)."""
+        return make_stream(
+            make_grng(self.grng_name, seed=stream_seed),
+            variance_reduction=self.variance_reduction,
+            period=self.eps_per_pass(),
+            seed=stream_seed,
         )
+
+    def build_weight_stack(self, position: int):
+        """Sample the shared weight-stack ensemble at stream ``position``.
+
+        Seeded ``derive_seed(seed, "weight-stack", version, position)`` —
+        independent of any worker index, so every worker (and any test)
+        reconstructs the identical ensemble for a cache key.  Returns the
+        per-layer ``(w, b)`` stack list of the entry's kind
+        (:func:`~repro.bnn.inference.build_weight_stacks` tensors for
+        float models, weight/bias *codes* from
+        :meth:`~repro.bnn.quantized.QuantizedBayesianNetwork.sample_weight_stacks`
+        for quantized ones).
+        """
+        stack_seed = derive_seed(self.seed, "weight-stack", self.version, position)
+        stream = self._make_stream(stack_seed)
+        if self.kind == "quantized":
+            network = QuantizedBayesianNetwork(
+                self.posterior,
+                bit_length=self.bit_length,
+                grng=stream,
+                seed=stack_seed,
+            )
+            return network.sample_weight_stacks(self.n_samples)
+        epsilons = stacked_epsilons(self.network.layers, self.n_samples, stream)
+        return build_weight_stacks(self.network.layers, epsilons)
+
+    def build_predictor(self, worker_index: int, stack_cache=None):
+        """Fresh batched predictor with this worker's decorrelated stream.
+
+        ``share_weight_stacks`` entries instead return a predictor reading
+        the service-wide :class:`~repro.serving.weight_stack.WeightStackCache`
+        (``stack_cache`` is then required); an ``adaptive`` config wraps
+        either flavour in the early-exit
+        :class:`~repro.bnn.adaptive.AdaptivePredictor`.
+        """
+        if self.share_weight_stacks:
+            if stack_cache is None:
+                raise ConfigurationError(
+                    f"model {self.name!r} shares weight stacks but no stack "
+                    "cache was provided"
+                )
+            if self.kind == "quantized":
+                # Datapath only: epsilons always come from the shared stack.
+                base: object = QuantizedSharedStackPredictor(
+                    self,
+                    stack_cache,
+                    QuantizedBayesianNetwork(
+                        self.posterior, bit_length=self.bit_length, seed=self.seed
+                    ),
+                )
+            else:
+                base = SharedStackPredictor(self, stack_cache)
+        else:
+            stream_seed = worker_stream_seed(self.seed, self.version, worker_index)
+            grng = self._make_stream(stream_seed)
+            if self.kind == "quantized":
+                base = QuantizedServingPredictor(
+                    QuantizedBayesianNetwork(
+                        self.posterior,
+                        bit_length=self.bit_length,
+                        grng=grng,
+                        seed=stream_seed,
+                    ),
+                    self.n_samples,
+                )
+            else:
+                base = MonteCarloPredictor(
+                    self.network, grng=grng, n_samples=self.n_samples, batched=True
+                )
+        if self.adaptive is not None:
+            return AdaptivePredictor(base, self.adaptive)
+        return base
 
 
 class ModelRegistry:
@@ -213,10 +311,22 @@ class ModelRegistry:
         n_samples: int = 10,
         grng: str = "bnnwallace",
         seed: int = 0,
+        variance_reduction: str = "plain",
+        share_weight_stacks: bool = False,
+        adaptive: AdaptiveConfig | None = None,
     ) -> ModelEntry:
         """Register an in-memory network under ``name``."""
         return self._install(
-            ModelEntry(name, network, n_samples=n_samples, grng_name=grng, seed=seed)
+            ModelEntry(
+                name,
+                network,
+                n_samples=n_samples,
+                grng_name=grng,
+                seed=seed,
+                variance_reduction=variance_reduction,
+                share_weight_stacks=share_weight_stacks,
+                adaptive=adaptive,
+            )
         )
 
     def register_posterior(
@@ -228,6 +338,9 @@ class ModelRegistry:
         grng: str = "bnnwallace",
         seed: int = 0,
         source_path: "str | pathlib.Path | None" = None,
+        variance_reduction: str = "plain",
+        share_weight_stacks: bool = False,
+        adaptive: AdaptiveConfig | None = None,
     ) -> ModelEntry:
         """Register exported ``(mu, sigma)`` parameters under ``name``."""
         network = network_from_posterior(posterior, seed=seed)
@@ -239,6 +352,9 @@ class ModelRegistry:
                 grng_name=grng,
                 seed=seed,
                 source_path=None if source_path is None else str(source_path),
+                variance_reduction=variance_reduction,
+                share_weight_stacks=share_weight_stacks,
+                adaptive=adaptive,
             )
         )
 
@@ -250,6 +366,9 @@ class ModelRegistry:
         n_samples: int = 10,
         grng: str = "bnnwallace",
         seed: int = 0,
+        variance_reduction: str = "plain",
+        share_weight_stacks: bool = False,
+        adaptive: AdaptiveConfig | None = None,
     ) -> ModelEntry:
         """Load a saved posterior ``.npz`` and register it under ``name``.
 
@@ -257,7 +376,15 @@ class ModelRegistry:
         """
         posterior = load_posterior(path)
         return self.register_posterior(
-            name, posterior, n_samples=n_samples, grng=grng, seed=seed, source_path=path
+            name,
+            posterior,
+            n_samples=n_samples,
+            grng=grng,
+            seed=seed,
+            source_path=path,
+            variance_reduction=variance_reduction,
+            share_weight_stacks=share_weight_stacks,
+            adaptive=adaptive,
         )
 
     # ------------------------------------------------------------------
@@ -273,6 +400,9 @@ class ModelRegistry:
         grng: str = "rlf",
         seed: int = 0,
         source_path: "str | pathlib.Path | None" = None,
+        variance_reduction: str = "plain",
+        share_weight_stacks: bool = False,
+        adaptive: AdaptiveConfig | None = None,
     ) -> ModelEntry:
         """Register exported parameters as a *quantized hardware* model.
 
@@ -295,6 +425,9 @@ class ModelRegistry:
                 bit_length=bit_length,
                 posterior=posterior,
                 source_path=None if source_path is None else str(source_path),
+                variance_reduction=variance_reduction,
+                share_weight_stacks=share_weight_stacks,
+                adaptive=adaptive,
             )
         )
 
@@ -307,6 +440,9 @@ class ModelRegistry:
         n_samples: int = 10,
         grng: str = "rlf",
         seed: int = 0,
+        variance_reduction: str = "plain",
+        share_weight_stacks: bool = False,
+        adaptive: AdaptiveConfig | None = None,
     ) -> ModelEntry:
         """Load a saved posterior ``.npz`` and serve it quantized."""
         posterior = load_posterior(path)
@@ -318,6 +454,9 @@ class ModelRegistry:
             grng=grng,
             seed=seed,
             source_path=path,
+            variance_reduction=variance_reduction,
+            share_weight_stacks=share_weight_stacks,
+            adaptive=adaptive,
         )
 
     # ------------------------------------------------------------------
@@ -342,6 +481,9 @@ class ModelRegistry:
                 n_samples=entry.n_samples,
                 grng=entry.grng_name,
                 seed=entry.seed,
+                variance_reduction=entry.variance_reduction,
+                share_weight_stacks=entry.share_weight_stacks,
+                adaptive=entry.adaptive,
             )
         return self.register_file(
             name,
@@ -349,6 +491,9 @@ class ModelRegistry:
             n_samples=entry.n_samples,
             grng=entry.grng_name,
             seed=entry.seed,
+            variance_reduction=entry.variance_reduction,
+            share_weight_stacks=entry.share_weight_stacks,
+            adaptive=entry.adaptive,
         )
 
     def evict(self, name: str) -> None:

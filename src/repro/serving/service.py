@@ -42,6 +42,7 @@ from repro.serving.batcher import MicroBatcher, PredictionTicket
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.weight_stack import WeightStackCache
 from repro.serving.workers import ServingWorker, WorkerPool
 
 #: Default ceiling on how long a caller waits for one prediction.
@@ -62,6 +63,9 @@ class ServiceConfig:
     workers: int = 2
     #: Prediction-cache rows; 0 disables caching.
     cache_capacity: int = 4096
+    #: Shared sampled weight-stack ensembles kept live; 0 makes any
+    #: ``share_weight_stacks`` model a configuration error.
+    stack_cache_capacity: int = 8
     #: Latency ring-buffer length for the percentile metrics.
     latency_window: int = 8192
 
@@ -82,6 +86,7 @@ class BnnService:
         self.config = config if config is not None else ServiceConfig()
         self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
         self.cache = PredictionCache(capacity=self.config.cache_capacity)
+        self.stack_cache = WeightStackCache(capacity=self.config.stack_cache_capacity)
         self.batcher = MicroBatcher(
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
@@ -94,6 +99,7 @@ class BnnService:
                 self.cache,
                 self.metrics,
                 workers=self.config.workers,
+                stack_cache=self.stack_cache,
             )
             self._sync_worker = None
         else:
@@ -102,7 +108,8 @@ class BnnService:
             # so both modes run the identical batch path with worker 0's
             # reproducible stream.
             self._sync_worker = ServingWorker(
-                0, self.registry, self.batcher, self.cache, self.metrics
+                0, self.registry, self.batcher, self.cache, self.metrics,
+                self.stack_cache,
             )
         # In-flight coalescing (cache-enabled services only): cache key ->
         # the pending primary ticket, so identical concurrent requests
@@ -130,14 +137,30 @@ class BnnService:
         return self.registry.register_quantized_file(name, path, **kwargs)
 
     def reload(self, name: str) -> ModelEntry:
-        """Re-read a file-backed model; eagerly drops its cached rows."""
+        """Re-read a file-backed model; eagerly drops its cached rows
+        and shared weight stacks."""
         entry = self.registry.reload(name)
         self.cache.invalidate_model(name)
+        self.stack_cache.invalidate_model(name)
         return entry
 
     def evict(self, name: str) -> None:
         self.registry.evict(name)
         self.cache.invalidate_model(name)
+        self.stack_cache.invalidate_model(name)
+
+    def refresh_weight_stacks(self, name: str) -> int:
+        """Advance a shared-stack model to a fresh sampled ensemble.
+
+        Bumps the model's weight-stack stream position (the next batch
+        draws new epsilons at the advanced position) and drops its cached
+        prediction rows, which were computed under the old ensemble.
+        Returns the number of stream positions advanced (0 if the model
+        has not served a shared batch yet).
+        """
+        advanced = self.stack_cache.advance(name)
+        self.cache.invalidate_model(name)
+        return advanced
 
     # ------------------------------------------------------------------
     # Request path
@@ -309,6 +332,9 @@ class BnnService:
         snap = self.metrics.snapshot()
         snap["queue_pending"] = self.batcher.pending()
         snap["cache_entries"] = len(self.cache)
+        snap["stack_cache_entries"] = len(self.stack_cache)
+        snap["stack_cache_hits"] = self.stack_cache.hits
+        snap["stack_cache_misses"] = self.stack_cache.misses
         snap["models"] = self.registry.names()
         return snap
 

@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
+
+from repro.errors import ConfigurationError
 from repro.serving.batcher import Batch, MicroBatcher
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.registry import ModelRegistry
+from repro.serving.weight_stack import WeightStackCache
 from repro.utils.validation import check_positive
 
 #: How long an idle worker blocks on the queue before re-checking shutdown.
@@ -41,6 +45,7 @@ class ServingWorker(threading.Thread):
         batcher: MicroBatcher,
         cache: PredictionCache,
         metrics: ServiceMetrics,
+        stack_cache: WeightStackCache | None = None,
     ) -> None:
         super().__init__(name=f"bnn-serving-worker-{index}", daemon=True)
         self.index = index
@@ -48,6 +53,7 @@ class ServingWorker(threading.Thread):
         self.batcher = batcher
         self.cache = cache
         self.metrics = metrics
+        self.stack_cache = stack_cache
         # Per-worker predictor cache: model name -> (version, predictor).
         self._predictors: dict[str, tuple[int, object]] = {}
 
@@ -56,7 +62,7 @@ class ServingWorker(threading.Thread):
         cached = self._predictors.get(entry.name)
         if cached is not None and cached[0] == entry.version:
             return cached[1]
-        predictor = entry.build_predictor(self.index)
+        predictor = entry.build_predictor(self.index, stack_cache=self.stack_cache)
         self._predictors[entry.name] = (entry.version, predictor)
         return predictor
 
@@ -64,15 +70,24 @@ class ServingWorker(threading.Thread):
         """Run one coalesced batch and resolve every ticket in it.
 
         Any failure (unknown model after an eviction race, a bad row that
-        slipped validation, ...) is delivered to the batch's tickets rather
-        than killing the worker.
+        slipped validation, a predictor returning a malformed result, ...)
+        is delivered to the batch's tickets rather than killing the worker.
+        The output-shape check lives *inside* the fault barrier, before the
+        cache loop: a faulty predictor must never populate cache entries
+        for any of the batch's rows (a short result would otherwise cache
+        some rows before the per-row indexing blew up mid-loop).
         """
         if len(batch) == 0:
             return
         try:
             entry = self.registry.get(batch.model)
             predictor = self._predictor_for(entry)
-            probs = predictor.predict_proba_batched(batch.stack())
+            probs = np.asarray(predictor.predict_proba_batched(batch.stack()))
+            if probs.ndim != 2 or probs.shape != (len(batch), entry.out_features):
+                raise ConfigurationError(
+                    f"predictor for model {entry.name!r} returned shape "
+                    f"{probs.shape}, expected ({len(batch)}, {entry.out_features})"
+                )
         except Exception as error:  # noqa: BLE001 - fault barrier per batch
             for ticket in batch.tickets:
                 ticket.set_exception(error)
@@ -81,6 +96,11 @@ class ServingWorker(threading.Thread):
                 self.metrics.record_failure()
             return
         self.metrics.record_batch(len(batch))
+        pop_pass_counts = getattr(predictor, "pop_pass_counts", None)
+        if pop_pass_counts is not None:
+            pass_counts = pop_pass_counts()
+            if pass_counts is not None:
+                self.metrics.record_adaptive(pass_counts, entry.n_samples)
         for row_index, ticket in enumerate(batch.tickets):
             row = probs[row_index]
             if self.cache.capacity:  # skip the per-row digest when disabled
@@ -113,11 +133,12 @@ class WorkerPool:
         cache: PredictionCache,
         metrics: ServiceMetrics,
         workers: int = 2,
+        stack_cache: WeightStackCache | None = None,
     ) -> None:
         check_positive("workers", workers)
         self.batcher = batcher
         self.workers = [
-            ServingWorker(index, registry, batcher, cache, metrics)
+            ServingWorker(index, registry, batcher, cache, metrics, stack_cache)
             for index in range(workers)
         ]
         for worker in self.workers:

@@ -261,6 +261,37 @@ class TestWorkerErrorDelivery:
                 ticket.result(timeout=1.0)
             assert service.stats()["requests_failed"] == 1
 
+    def test_faulty_predictor_output_populates_no_cache_rows(self, network, images):
+        """A worker fault mid-batch must never cache that batch's rows.
+
+        The worker validates the predictor's output shape *before* any
+        ``cache.put``; a malformed result fails every ticket in the batch
+        and leaves the result cache untouched, so a later retry cannot be
+        served a row that was never computed correctly.
+        """
+
+        class BadPredictor:
+            def predict_proba_batched(self, x):
+                return np.zeros((len(x), OUT + 1))  # wrong class count
+
+        with sync_service(network, cache_capacity=32) as service:
+            worker = service._sync_worker
+            entry = service.registry.get("m")
+            worker._predictors["m"] = (entry.version, BadPredictor())
+            tickets = [service.submit("m", row) for row in images[:3]]
+            service.flush()
+            for ticket in tickets:
+                with pytest.raises(ConfigurationError, match="returned shape"):
+                    ticket.result(timeout=1.0)
+            assert service.stats()["cache_entries"] == 0
+            assert service.stats()["requests_failed"] == 3
+            # The model itself is fine: a fresh predictor (version bump via
+            # reload-free eviction of the poisoned one) serves and caches.
+            del worker._predictors["m"]
+            probs = service.predict_proba("m", images[0])
+            assert probs.shape == (OUT,)
+            assert service.stats()["cache_entries"] == 1
+
 
 class TestThreadedMode:
     def test_worker_pool_serves_and_coalesces(self, network, images):
