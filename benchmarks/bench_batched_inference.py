@@ -30,6 +30,7 @@ regressions in absolute throughput).
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
@@ -40,6 +41,9 @@ from repro.bnn.inference import MonteCarloPredictor
 from repro.datasets import load_digits_split
 from repro.grng import BnnWallaceGrng, GrngStream, NumpyGrng, ParallelRlfGrng
 from repro.grng.base import Grng
+from repro.obs import BenchRecorder
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 class StepLoopGrng(Grng):
@@ -227,8 +231,15 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: tiny workloads, no speedup enforcement",
     )
     args = parser.parse_args(argv)
+    recorder = BenchRecorder(
+        "bench_batched_inference",
+        mode="quick" if args.quick else "full",
+        config={"quick": args.quick},
+    )
     bench_grng_throughput(args.quick)
     headline = bench_mc_inference(args.quick)
+    recorder.record("mc_inference_speedup", headline, unit="x")
+    print(f"results written to {recorder.write(RESULTS_DIR)}")
     if not args.quick and headline < 5.0:
         print(f"FAIL: headline speedup {headline:.1f}x below the 5x target")
         return 1

@@ -26,6 +26,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_detailed_datapath.py [--quick]
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
@@ -39,6 +40,9 @@ from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import schedule_network
 from repro.hw.faults import FaultyBnnWallaceGrng, FaultyRlfGrng, random_seu_faults
 from repro.hw.pipeline import closed_form_layer_pipeline, simulate_layer_pipeline
+from repro.obs import BenchRecorder
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 SMALL_CFG_KWARGS = dict(pe_sets=2, pes_per_set=4, pe_inputs=4, bit_length=8)
 
@@ -201,10 +205,18 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: tiny workloads, no absolute-speedup enforcement",
     )
     args = parser.parse_args(argv)
-    check_batch_equivalence(args.quick)
+    recorder = BenchRecorder(
+        "bench_detailed_datapath",
+        mode="quick" if args.quick else "full",
+        config={"quick": args.quick},
+    )
+    check_batch_equivalence(args.quick)  # SystemExit on mismatch
     check_fault_equivalence(args.quick)
     check_pipeline_closed_form()
+    recorder.record("datapath_bit_exact", 1.0, comparable=True)
     speedup = bench_detailed_speedup(args.quick)
+    recorder.record("detailed_speedup", speedup, unit="x")
+    print(f"results written to {recorder.write(RESULTS_DIR)}")
     if not args.quick and speedup < 10.0:
         print(f"FAIL: detailed-path speedup {speedup:.1f}x below the 10x target")
         return 1

@@ -28,6 +28,7 @@ still applies, the absolute-speedup gate does not (CI machines are noisy).
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
@@ -40,6 +41,9 @@ from repro.grng import BnnWallaceGrng, GrngStream, ParallelRlfGrng
 from repro.grng.base import Grng
 from repro.grng.factory import available_grngs, make_grng
 from repro.grng.rlf import standardize_codes
+from repro.obs import BenchRecorder
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 class StepLoopGrng(Grng):
@@ -213,8 +217,16 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: tiny workloads, no absolute-speedup enforcement",
     )
     args = parser.parse_args(argv)
-    check_equivalence(args.quick)
+    recorder = BenchRecorder(
+        "bench_quantized_inference",
+        mode="quick" if args.quick else "full",
+        config={"quick": args.quick},
+    )
+    check_equivalence(args.quick)  # SystemExit on mismatch
+    recorder.record("stacked_bit_exact", 1.0, comparable=True)
     headline = bench_mc_inference(args.quick)
+    recorder.record("quantized_speedup", headline, unit="x")
+    print(f"results written to {recorder.write(RESULTS_DIR)}")
     if not args.quick and headline < 5.0:
         print(f"FAIL: headline speedup {headline:.1f}x below the 5x target")
         return 1

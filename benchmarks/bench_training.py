@@ -41,6 +41,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_training.py [--quick]
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import tempfile
 import time
@@ -63,6 +64,9 @@ from repro.bnn.optimizers import Adam
 from repro.experiments.artifacts import ArtifactCache, set_active_cache
 from repro.experiments.runner import run_experiments
 from repro.experiments.training import train_bnn
+from repro.obs import BenchRecorder
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 # ----------------------------------------------------------------------
 # Seed replica: PR 4's conv training/eval arithmetic, term for term.
@@ -450,13 +454,22 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: tiny workloads, no absolute-speedup enforcement",
     )
     args = parser.parse_args(argv)
-    check_im2col_equivalence()
+    recorder = BenchRecorder(
+        "bench_training",
+        mode="quick" if args.quick else "full",
+        config={"quick": args.quick},
+    )
+    check_im2col_equivalence()  # each check raises SystemExit on mismatch
     check_stacked_equivalence(args.quick)
     check_runner_equivalence()
     check_cache_equivalence()
+    recorder.record("training_bit_exact", 1.0, comparable=True)
     epoch_speedup = bench_conv_epoch(args.quick)
     eval_speedup = bench_mc_eval(args.quick)
     bench_dense_eval(args.quick)
+    recorder.record("conv_epoch_speedup", epoch_speedup, unit="x")
+    recorder.record("mc_eval_speedup", eval_speedup, unit="x")
+    print(f"results written to {recorder.write(RESULTS_DIR)}")
     if not args.quick:
         if epoch_speedup < 5.0:
             print(f"FAIL: conv epoch speedup {epoch_speedup:.1f}x below the 5x target")

@@ -1,0 +1,107 @@
+"""Regression wall: diff benchmark results against a committed baseline.
+
+Pairs every ``*.json`` result document in the baseline directory with the
+same-named file in the results directory and runs the schema-1 comparator
+(:func:`repro.obs.bench.compare_result_dicts`).  Exits non-zero listing
+every regression, so CI turns measured wins into a defended floor.
+
+Modes:
+
+* default (full) — compare every metric, including machine-dependent
+  timings.  Meaningful only when baseline and results come from the same
+  machine.
+* ``--smoke`` — compare only metrics flagged ``comparable`` (seeded,
+  machine-independent: bit-exactness booleans, accuracy deltas, saved
+  fractions).  This is what CI runs against the checked-in quick-mode
+  baseline in ``benchmarks/baselines/quick/``.
+
+Run:  PYTHONPATH=src python benchmarks/compare_results.py \
+          --baseline benchmarks/baselines/quick --results benchmarks/results \
+          --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.obs import DEFAULT_THRESHOLD, compare_result_dicts, load_result
+
+HERE = pathlib.Path(__file__).parent
+
+
+def compare_dirs(
+    baseline_dir: pathlib.Path,
+    results_dir: pathlib.Path,
+    *,
+    threshold: float,
+    smoke: bool,
+) -> int:
+    baselines = sorted(baseline_dir.glob("*.json"))
+    if not baselines:
+        print(f"FAIL: no baseline documents in {baseline_dir}")
+        return 2
+    failures = 0
+    compared = 0
+    for base_path in baselines:
+        new_path = results_dir / base_path.name
+        if not new_path.exists():
+            print(f"FAIL {base_path.stem}: no matching result in {results_dir}")
+            failures += 1
+            continue
+        baseline = load_result(base_path)
+        new = load_result(new_path)
+        problems = compare_result_dicts(
+            new, baseline, threshold=threshold, comparable_only=smoke
+        )
+        compared += 1
+        if problems:
+            failures += 1
+            print(f"FAIL {base_path.stem}:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {base_path.stem}")
+    mode = "smoke (comparable metrics only)" if smoke else "full"
+    print(
+        f"compared {compared}/{len(baselines)} baseline documents "
+        f"[{mode}, threshold {threshold:.0%}] -> "
+        f"{'PASS' if failures == 0 else f'{failures} FAILED'}"
+    )
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=HERE / "baselines" / "quick",
+        help="directory of committed baseline result documents",
+    )
+    parser.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=HERE / "results",
+        help="directory of freshly produced result documents",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative regression threshold (fraction of the baseline value)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="compare only machine-independent (comparable) metrics",
+    )
+    args = parser.parse_args(argv)
+    return compare_dirs(
+        args.baseline, args.results, threshold=args.threshold, smoke=args.smoke
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

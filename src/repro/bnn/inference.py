@@ -28,12 +28,15 @@ CDF inversion, ...) they agree even unwrapped.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.bnn.activations import relu, softmax
 from repro.bnn.bayesian import BayesianNetwork
 from repro.errors import ConfigurationError
 from repro.grng.base import Grng
+from repro.obs import profile as _profile
 from repro.utils.validation import check_positive
 
 
@@ -138,6 +141,8 @@ def stacked_forward_stacks(stacks, x: np.ndarray) -> np.ndarray:
     of an ``S``-times-larger hidden stack.  Returns logits of shape
     ``(S, batch, out)``.
     """
+    _prof = _profile.ACTIVE
+    _t0 = time.perf_counter() if _prof is not None else 0.0
     x = np.asarray(x, dtype=np.float64)
     in_features = stacks[0][0].shape[1]
     if x.ndim != 2 or x.shape[1] != in_features:
@@ -153,6 +158,13 @@ def stacked_forward_stacks(stacks, x: np.ndarray) -> np.ndarray:
             pre = hidden @ weights[sample] + bias[sample]
             hidden = relu(pre) if index < last else pre
         logits[sample] = hidden
+    if _prof is not None:
+        # ops = MC pass-rows: one forward pass of one input row each.
+        _prof.record(
+            "bnn.stacked_forward",
+            time.perf_counter() - _t0,
+            ops=n_samples * x.shape[0],
+        )
     return logits
 
 

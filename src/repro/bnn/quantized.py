@@ -58,12 +58,15 @@ for every registered generator behind a
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.bnn.activations import softmax
 from repro.errors import ConfigurationError
 from repro.fixedpoint import QFormat, requantize, saturate
 from repro.grng.base import Grng
+from repro.obs import profile as _profile
 from repro.utils.seeding import spawn_generator
 from repro.utils.validation import check_positive
 
@@ -373,6 +376,8 @@ class QuantizedBayesianNetwork:
 
         Returns logits codes of shape ``(n_samples, batch, out)``.
         """
+        _prof = _profile.ACTIVE
+        _t0 = time.perf_counter() if _prof is not None else 0.0
         if x_codes.ndim != 2 or x_codes.shape[1] != self.layer_sizes[0]:
             raise ConfigurationError(
                 f"expected codes of shape (batch, {self.layer_sizes[0]}), got {x_codes.shape}"
@@ -419,6 +424,12 @@ class QuantizedBayesianNetwork:
             if index < last:
                 hidden = np.maximum(acc, 0)  # ReLU on codes
             else:
+                if _prof is not None:
+                    _prof.record(
+                        "quantized.forward_stacked",
+                        time.perf_counter() - _t0,
+                        ops=n_samples * batch,
+                    )
                 return acc
         raise ConfigurationError("no layers")  # pragma: no cover
 

@@ -6,6 +6,7 @@ can be regenerated directly from the history.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,6 +17,7 @@ from repro.bnn.metrics import accuracy
 from repro.bnn.network import FeedForwardNetwork
 from repro.bnn.optimizers import Adam
 from repro.errors import ConfigurationError, TrainingError
+from repro.obs import profile as _profile
 from repro.utils.seeding import spawn_generator
 
 #: Models whose ``train_step`` takes a ``kl_scale`` and returns
@@ -112,6 +114,8 @@ class Trainer:
         kl_scale = 1.0 / n_train
         history = TrainingHistory()
         for _ in range(self.epochs):
+            _prof = _profile.ACTIVE
+            _t0 = time.perf_counter() if _prof is not None else 0.0
             order = self._rng.permutation(n_train)
             epoch_loss = 0.0
             epoch_kl = 0.0
@@ -126,6 +130,8 @@ class Trainer:
                 else:
                     epoch_loss += self.model.train_step(xb, yb, self.optimizer)
                 batches += 1
+            if _prof is not None:
+                _prof.record("train.epoch", time.perf_counter() - _t0, ops=n_train)
             history.train_loss.append(epoch_loss / batches)
             history.kl.append(epoch_kl / batches if is_bayesian else 0.0)
             # Divergence check BEFORE the (expensive) train/test accuracy

@@ -21,6 +21,12 @@ explorer; ``serve-demo`` trains a small BNN, round-trips it through the
 posterior file format, and serves a demo workload through the
 micro-batching service; ``loadtest`` drives the service with an open- or
 closed-loop arrival pattern and reports throughput/latency.
+
+Both serving verbs take the observability flags (``--trace-out`` for
+request spans, ``--metrics-json`` / ``--metrics-prom`` for the unified
+registry, ``--profile`` for the kernel rollup, ``--samples-out`` for raw
+client samples); ``obs-report`` renders a saved span file as the
+per-phase latency-breakdown table (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -42,6 +48,14 @@ from repro.experiments.runner import run_experiments
 from repro.grng import VARIANCE_REDUCTIONS, available_grngs, make_grng
 from repro.grng.quality import runs_test, stability_error
 from repro.hw.design_space import explore_design_space
+from repro.obs import (
+    disable_profiling,
+    enable_profiling,
+    load_spans,
+    render_phase_report,
+    render_prometheus,
+    write_metrics_json,
+)
 from repro.serving import BnnService, ServiceConfig, run_closed_loop, run_open_loop
 
 
@@ -160,6 +174,9 @@ def _build_demo_service(
             queue_capacity=args.queue_capacity,
             workers=args.workers,
             cache_capacity=args.cache_capacity,
+            # Tracing is enabled exactly when the spans have somewhere to
+            # go; an untraced run pays nothing on the request path.
+            trace_capacity=args.trace_capacity if args.trace_out else 0,
         )
     )
     adaptive = (
@@ -237,6 +254,47 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="serve off one cached sampled weight ensemble shared across requests",
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="enable request tracing and write the spans as JSON lines "
+        "(render with 'repro obs-report')",
+    )
+    obs.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=16384,
+        help="span ring size when tracing is enabled",
+    )
+    obs.add_argument(
+        "--metrics-json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the unified metrics registry as JSON",
+    )
+    obs.add_argument(
+        "--metrics-prom",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the registry in Prometheus text exposition format",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable kernel profiling hooks and print the per-kernel rollup",
+    )
+    obs.add_argument(
+        "--samples-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write per-request (submit_ts, latency_s) JSON-lines samples",
+    )
 
 
 def _run_demo_workload(args: argparse.Namespace, run) -> int:
@@ -245,16 +303,44 @@ def _run_demo_workload(args: argparse.Namespace, run) -> int:
     Builds the demo service in a throwaway model directory, runs
     ``run(service, images)`` (which returns a
     :class:`~repro.serving.loadgen.LoadStats`), and prints the load stats
-    plus the service metrics.
+    plus the service metrics.  Observability flags hang off this seam:
+    the trace/metrics/sample exports are written after the run, and
+    ``--profile`` prints the kernel rollup.
     """
-    with tempfile.TemporaryDirectory(prefix="repro-serving-") as model_dir:
-        service, images = _build_demo_service(args, pathlib.Path(model_dir))
-        with service:
-            stats = run(service, images)
-            print()
-            print(stats.render())
-            print()
-            print(service.metrics.render())
+    profiler = enable_profiling() if args.profile else None
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-serving-") as model_dir:
+            service, images = _build_demo_service(args, pathlib.Path(model_dir))
+            with service:
+                stats = run(service, images)
+                print()
+                print(stats.render())
+                print()
+                print(service.metrics.render())
+                if args.trace_out is not None and service.tracer is not None:
+                    count = service.tracer.export_jsonl(args.trace_out)
+                    print(f"\nwrote {count} trace spans to {args.trace_out}")
+                if args.metrics_json is not None:
+                    write_metrics_json(service.metrics.registry, args.metrics_json)
+                    print(f"wrote metrics JSON to {args.metrics_json}")
+                if args.metrics_prom is not None:
+                    args.metrics_prom.parent.mkdir(parents=True, exist_ok=True)
+                    args.metrics_prom.write_text(
+                        render_prometheus(service.metrics.registry)
+                    )
+                    print(f"wrote Prometheus exposition to {args.metrics_prom}")
+                if args.samples_out is not None:
+                    stats.export_samples(args.samples_out)
+                    print(
+                        f"wrote {len(stats.latencies_s)} request samples "
+                        f"to {args.samples_out}"
+                    )
+    finally:
+        if profiler is not None:
+            disable_profiling()
+    if profiler is not None:
+        print()
+        print(profiler.render())
     return 0
 
 
@@ -286,6 +372,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     return _run_demo_workload(args, run)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    spans = load_spans(args.spans)
+    print(render_phase_report(spans))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--rate", type=float, default=200.0, help="open-loop arrivals/sec")
     loadtest.add_argument("--duration", type=float, default=3.0, help="open-loop seconds")
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    report = sub.add_parser(
+        "obs-report",
+        help="render a --trace-out span file as a per-phase latency breakdown",
+    )
+    report.add_argument("spans", type=pathlib.Path, help="JSON-lines span file")
+    report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

@@ -59,12 +59,14 @@ onto the quantized-float path automatically.
 
 from __future__ import annotations
 
+import time
 from abc import abstractmethod
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.grng.base import Grng
+from repro.obs import profile as _profile
 from repro.utils.seeding import spawn_generator
 from repro.utils.validation import check_count, check_positive
 
@@ -137,6 +139,8 @@ class GrngStream(BlockGrng):
         return self._buffer.size - self._pos
 
     def fill(self, out: np.ndarray) -> None:
+        _prof = _profile.ACTIVE
+        _t0 = time.perf_counter() if _prof is not None else 0.0
         out = self._check_out(out)
         contiguous = out.flags.c_contiguous
         flat = out.reshape(-1) if contiguous else np.empty(out.size)
@@ -145,6 +149,8 @@ class GrngStream(BlockGrng):
         )
         if not contiguous:
             out[...] = flat.reshape(out.shape)
+        if _prof is not None:
+            _prof.record("grng.fill", time.perf_counter() - _t0, ops=out.size)
 
     def generate_codes(self, count: int) -> np.ndarray:
         count = self._check_count(count)
@@ -164,6 +170,8 @@ class GrngStream(BlockGrng):
 
     def fill_codes(self, out: np.ndarray) -> None:
         """Code analogue of :meth:`fill`: serve from the code buffer."""
+        _prof = _profile.ACTIVE
+        _t0 = time.perf_counter() if _prof is not None else 0.0
         out = self._check_code_out(out)
         if out.size == 0:
             self.source.generate_codes(0)  # capability probe passthrough
@@ -175,6 +183,8 @@ class GrngStream(BlockGrng):
         )
         if not contiguous:
             out[...] = flat.reshape(out.shape)
+        if _prof is not None:
+            _prof.record("grng.fill_codes", time.perf_counter() - _t0, ops=out.size)
 
     def _serve(self, dest, buffer, pos, refill):
         """Serve ``dest.size`` values from ``buffer``, refilling in fixed
@@ -235,6 +245,8 @@ class PeriodicRemapStream(GrngStream):
         multiple for schemes that pair units)."""
 
     def fill(self, out: np.ndarray) -> None:
+        _prof = _profile.ACTIVE
+        _t0 = time.perf_counter() if _prof is not None else 0.0
         out = self._check_out(out)
         contiguous = out.flags.c_contiguous
         flat = out.reshape(-1) if contiguous else np.empty(out.size)
@@ -251,6 +263,8 @@ class PeriodicRemapStream(GrngStream):
             cursor += take
         if not contiguous:
             out[...] = flat.reshape(out.shape)
+        if _prof is not None:
+            _prof.record("grng.fill", time.perf_counter() - _t0, ops=out.size)
 
     # ------------------------------------------------------------------
     # No integer code datapath: the remap is float-only.

@@ -18,6 +18,7 @@ Two simulation fidelities, sharing one datapath definition:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,6 +34,7 @@ from repro.hw.memory import DoubleBufferedMemory, WeightParameterMemory
 from repro.hw.packing import pack_word, pack_words, unpack_word, unpack_words
 from repro.hw.pe import PeSet, stacked_accumulate, stacked_finish
 from repro.hw.resources import full_design_resources, system_clock_mhz, system_power_mw
+from repro.obs import profile as _profile
 from repro.utils.validation import check_positive
 
 
@@ -470,11 +472,19 @@ class DetailedDatapathSimulator:
                 f"expected codes of shape (batch, {network.layer_sizes[0]}), "
                 f"got {feature_codes.shape}"
             )
+        _prof = _profile.ACTIVE
+        _t0 = time.perf_counter() if _prof is not None else 0.0
         sampled = network.sample_weight_stacks(n_samples)
         hidden = feature_codes
         last = len(sampled) - 1
         for index, (weights, biases) in enumerate(sampled):
             hidden = self.run_layer_batch(
                 hidden, weights, biases, apply_relu=(index != last)
+            )
+        if _prof is not None:
+            _prof.record(
+                "hw.run_network_batch",
+                time.perf_counter() - _t0,
+                ops=feature_codes.shape[0],
             )
         return hidden

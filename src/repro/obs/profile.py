@@ -1,0 +1,141 @@
+"""Opt-in kernel profiling hooks — near-zero cost when disabled.
+
+The vectorized hot paths (GRNG block fills, the stacked Monte-Carlo
+forward, the quantized code-path GEMMs, the cycle-accurate batch datapath,
+trainer epochs) are instrumented at their *seams*, not inside their inner
+loops, with the pattern::
+
+    _prof = profile.ACTIVE
+    _t0 = time.perf_counter() if _prof is not None else 0.0
+    ... kernel ...
+    if _prof is not None:
+        _prof.record("grng.fill", time.perf_counter() - _t0, ops=out.size)
+
+When profiling is disabled (the default), each call site costs one module
+attribute load and a ``None`` check — unmeasurable against the kernels it
+wraps.  When enabled (:func:`enable_profiling`), every call accumulates
+into a per-kernel ``(calls, seconds, ops)`` rollup whose ``render()`` is
+the time/ops table (``ops`` is the kernel's natural unit: samples for GRNG
+fills, MC pass-rows for forwards, images for the hardware datapath,
+training rows for epochs).
+
+The rollup is global to the process (kernels are called from worker
+threads the profiler cannot see being constructed), guarded by a lock that
+only enabled runs pay for.  Nested instrumented kernels each record their
+own inclusive time — the rollup is per-kernel, not a call tree; use the
+request tracer for attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+#: The active profiler, or ``None`` when profiling is disabled.  Call
+#: sites read this module attribute on every invocation, so enabling and
+#: disabling take effect immediately, with no registration.
+ACTIVE: "KernelProfiler | None" = None
+
+_lock = threading.Lock()
+
+
+class KernelProfiler:
+    """Per-kernel ``calls / seconds / ops`` accumulator."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: dict[str, list[float]] = {}  # name -> [calls, seconds, ops]
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float, ops: float = 0.0) -> None:
+        with self._lock:
+            entry = self._stats.get(name)
+            if entry is None:
+                self._stats[name] = [1.0, float(seconds), float(ops)]
+            else:
+                entry[0] += 1.0
+                entry[1] += float(seconds)
+                entry[2] += float(ops)
+
+    @contextmanager
+    def span(self, name: str, ops: float = 0.0):
+        """Context-manager convenience for coarse (non-hot-path) sections."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, ops)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, dict[str, float]]:
+        """``{kernel: {calls, seconds, ops, ns_per_op, ops_per_s}}``."""
+        with self._lock:
+            raw = {name: list(entry) for name, entry in self._stats.items()}
+        out: dict[str, dict[str, float]] = {}
+        for name, (calls, seconds, ops) in sorted(raw.items()):
+            out[name] = {
+                "calls": calls,
+                "seconds": seconds,
+                "ops": ops,
+                "ns_per_op": (seconds / ops * 1e9) if ops else 0.0,
+                "ops_per_s": (ops / seconds) if seconds > 0 else 0.0,
+            }
+        return out
+
+    def render(self) -> str:
+        """Aligned per-kernel time/ops table."""
+        stats = self.stats()
+        if not stats:
+            return "(no kernel samples recorded)"
+        header = (
+            f"{'kernel':<28}{'calls':>9}{'seconds':>10}"
+            f"{'ops':>14}{'ns/op':>10}{'ops/s':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, entry in stats.items():
+            lines.append(
+                f"{name:<28}{int(entry['calls']):>9}{entry['seconds']:>10.3f}"
+                f"{int(entry['ops']):>14,}{entry['ns_per_op']:>10.1f}"
+                f"{entry['ops_per_s']:>14,.0f}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+def enable_profiling() -> KernelProfiler:
+    """Install (or return the already-active) process-wide profiler."""
+    global ACTIVE
+    with _lock:
+        if ACTIVE is None:
+            ACTIVE = KernelProfiler()
+        return ACTIVE
+
+
+def disable_profiling() -> "KernelProfiler | None":
+    """Remove the active profiler; returns it (with its rollup) or ``None``."""
+    global ACTIVE
+    with _lock:
+        profiler, ACTIVE = ACTIVE, None
+        return profiler
+
+
+@contextmanager
+def profiled():
+    """``with profiled() as prof:`` — enable for a scope, disable after.
+
+    Restores the previous state on exit, so scopes nest (an outer enabled
+    profiler keeps collecting after an inner scope ends).
+    """
+    global ACTIVE
+    with _lock:
+        previous = ACTIVE
+        profiler = ACTIVE = KernelProfiler() if previous is None else previous
+    try:
+        yield profiler
+    finally:
+        with _lock:
+            ACTIVE = previous

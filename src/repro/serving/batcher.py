@@ -45,12 +45,18 @@ class PredictionTicket:
     service's recorded latency are the same number.
     """
 
-    __slots__ = ("model", "created_at", "completed_at", "_event", "_value", "_error")
+    __slots__ = (
+        "model", "created_at", "completed_at", "trace",
+        "_event", "_value", "_error",
+    )
 
     def __init__(self, model: str) -> None:
         self.model = model
         self.created_at = time.perf_counter()
         self.completed_at: float | None = None
+        #: Optional :class:`~repro.obs.trace.RequestSpan` attached by a
+        #: tracing-enabled service; ``None`` when tracing is off.
+        self.trace = None
         self._event = threading.Event()
         self._value: np.ndarray | None = None
         self._error: BaseException | None = None
@@ -104,12 +110,15 @@ class _Request:
 class Batch:
     """One model's worth of coalesced requests, ready for a single MC call."""
 
-    __slots__ = ("model", "rows", "tickets")
+    __slots__ = ("model", "rows", "tickets", "popped_at")
 
     def __init__(self, model: str, rows: list[np.ndarray], tickets: list[PredictionTicket]) -> None:
         self.model = model
         self.rows = rows
         self.tickets = tickets
+        #: ``perf_counter`` stamp of the pop — the end of queue residency
+        #: for every request in the batch (tracing's queue_wait anchor).
+        self.popped_at = time.perf_counter()
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -182,6 +191,8 @@ class MicroBatcher:
                     f"request queue full ({self.capacity} pending); retry later"
                 )
             self._queue.append(_Request(row, ticket))
+            if ticket.trace is not None:
+                ticket.trace.mark("enqueued")
             model = ticket.model
             self._counts[model] = self._counts.get(model, 0) + 1
             if self._counts[model] >= self.max_batch:

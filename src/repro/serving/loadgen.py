@@ -22,6 +22,8 @@ views agree.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 from dataclasses import dataclass, field
 
@@ -58,6 +60,10 @@ class LoadStats:
     #: Open loop only: post-window flush/drain and straggler collection.
     drain_s: float = 0.0
     latencies_s: list[float] = field(default_factory=list, repr=False)
+    #: Per-completion submit stamps (``ticket.created_at``, perf_counter
+    #: timebase), index-aligned with ``latencies_s`` — the raw samples
+    #: behind :meth:`export_samples`.
+    submit_ts: list[float] = field(default_factory=list, repr=False)
 
     @property
     def throughput_rps(self) -> float:
@@ -73,6 +79,35 @@ class LoadStats:
 
     def latency_percentiles(self) -> dict[str, float]:
         return percentile_dict(self.latencies_s)
+
+    def latency_mean(self) -> float:
+        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    def latency_max(self) -> float:
+        return float(np.max(self.latencies_s)) if self.latencies_s else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Percentiles plus mean/max — one dict for reports and recorders."""
+        out = self.latency_percentiles()
+        out["mean"] = self.latency_mean()
+        out["max"] = self.latency_max()
+        return out
+
+    def export_samples(self, path) -> pathlib.Path:
+        """Write per-request ``{submit_ts, latency_s}`` JSON lines.
+
+        ``submit_ts`` is the ticket's ``perf_counter`` submit stamp — the
+        same timebase the server's trace spans use, so client samples and
+        span timelines can be joined offline.
+        """
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for submit, latency in zip(self.submit_ts, self.latencies_s):
+                handle.write(
+                    json.dumps({"submit_ts": submit, "latency_s": latency}) + "\n"
+                )
+        return path
 
     def render(self) -> str:
         if self.window_s > 0:
@@ -91,7 +126,9 @@ class LoadStats:
                 f"completed    : {self.completed} ({self.failed} failed)",
                 duration_line,
                 f"throughput   : {self.throughput_rps:,.1f} req/s",
-                f"latency      : {format_latency(self.latency_percentiles())}",
+                f"latency      : {format_latency(self.latency_percentiles())}  "
+                f"mean={self.latency_mean() * 1e3:.2f}ms  "
+                f"max={self.latency_max() * 1e3:.2f}ms",
             ]
         )
 
@@ -105,6 +142,7 @@ def _collect(stats: LoadStats, tickets: list[PredictionTicket], timeout: float) 
         else:
             stats.completed += 1
             stats.latencies_s.append(ticket.latency())
+            stats.submit_ts.append(ticket.created_at)
 
 
 def run_closed_loop(

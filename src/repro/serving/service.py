@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.bnn.bayesian import BayesianNetwork
 from repro.errors import ConfigurationError, ServiceOverloaded
+from repro.obs.trace import Tracer
 from repro.serving.batcher import MicroBatcher, PredictionTicket
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
@@ -68,10 +69,17 @@ class ServiceConfig:
     stack_cache_capacity: int = 8
     #: Latency ring-buffer length for the percentile metrics.
     latency_window: int = 8192
+    #: Request-tracing span ring size; 0 disables tracing entirely (no
+    #: spans are allocated and the request path pays nothing).
+    trace_capacity: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.trace_capacity < 0:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 0, got {self.trace_capacity}"
+            )
 
 
 class BnnService:
@@ -87,6 +95,12 @@ class BnnService:
         self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
         self.cache = PredictionCache(capacity=self.config.cache_capacity)
         self.stack_cache = WeightStackCache(capacity=self.config.stack_cache_capacity)
+        self.metrics.attach_stack_cache(self.stack_cache)
+        self.tracer: Tracer | None = (
+            Tracer(capacity=self.config.trace_capacity)
+            if self.config.trace_capacity > 0
+            else None
+        )
         self.batcher = MicroBatcher(
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
@@ -100,6 +114,7 @@ class BnnService:
                 self.metrics,
                 workers=self.config.workers,
                 stack_cache=self.stack_cache,
+                tracer=self.tracer,
             )
             self._sync_worker = None
         else:
@@ -109,7 +124,7 @@ class BnnService:
             # reproducible stream.
             self._sync_worker = ServingWorker(
                 0, self.registry, self.batcher, self.cache, self.metrics,
-                self.stack_cache,
+                self.stack_cache, self.tracer,
             )
         # In-flight coalescing (cache-enabled services only): cache key ->
         # the pending primary ticket, so identical concurrent requests
@@ -214,21 +229,42 @@ class BnnService:
         entry = self.registry.get(model)
         row = self._check_row(entry, x)
         ticket = PredictionTicket(model)
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(model, start=ticket.created_at)
+            ticket.trace = span
         key: tuple | None = None
         if self.cache.capacity > 0:
             # Digesting the row and consulting the cache only matter on a
             # cache-enabled service; a disabled cache skips the whole path
             # (no per-request hashing, no misleading 0% hit-rate stream).
+            lookup_start = time.perf_counter()
             key = PredictionCache.key(entry.name, entry.version, entry.n_samples, row)
             cached = self.cache.get(key)
             if cached is not None:
                 self.metrics.record_cache(True)
                 ticket.set_result(cached)
                 self.metrics.record_latency(ticket.latency())
+                if span is not None:
+                    # A hit's whole lifetime IS the lookup: anchor the
+                    # phase to the span window so coverage is exact even
+                    # at microsecond scale.
+                    span.add_phase("cache_lookup", ticket.completed_at - span.start)
+                    span.cache_hit = True
+                    tracer.finish(span, end=ticket.completed_at)
                 return ticket
             in_flight = self._coalesce_pending(key, ticket)
             if in_flight is not None:
                 self.metrics.record_cache(True)
+                if span is not None:
+                    # The caller rides the in-flight primary's ticket; this
+                    # span covers only the submit-side lookup that found it.
+                    now = time.perf_counter()
+                    span.add_phase("cache_lookup", now - span.start)
+                    span.cache_hit = True
+                    span.mark("coalesced")
+                    tracer.finish(span, end=now)
                 return in_flight
             # We are now the pending primary — but a previous primary may
             # have completed (cache.put happens before its ticket resolves)
@@ -243,8 +279,14 @@ class BnnService:
                 self.metrics.record_cache(True)
                 ticket.set_result(fresh)
                 self.metrics.record_latency(ticket.latency())
+                if span is not None:
+                    span.add_phase("cache_lookup", ticket.completed_at - span.start)
+                    span.cache_hit = True
+                    tracer.finish(span, end=ticket.completed_at)
                 return ticket
             self.metrics.record_cache(False)
+            if span is not None:
+                span.add_phase("cache_lookup", time.perf_counter() - lookup_start)
         try:
             depth = self.batcher.submit(row, ticket)
         except Exception as error:
@@ -256,6 +298,10 @@ class BnnService:
                     if self._pending.get(key) is ticket:
                         del self._pending[key]
             ticket.set_exception(error)
+            if span is not None:
+                tracer.finish(
+                    span, end=ticket.completed_at, error=type(error).__name__
+                )
             if isinstance(error, ServiceOverloaded):
                 self.metrics.record_overload()
             raise
@@ -333,8 +379,6 @@ class BnnService:
         snap["queue_pending"] = self.batcher.pending()
         snap["cache_entries"] = len(self.cache)
         snap["stack_cache_entries"] = len(self.stack_cache)
-        snap["stack_cache_hits"] = self.stack_cache.hits
-        snap["stack_cache_misses"] = self.stack_cache.misses
         snap["models"] = self.registry.names()
         return snap
 

@@ -45,6 +45,7 @@ import threading
 from collections import OrderedDict
 
 from repro.errors import ConfigurationError
+from repro.obs import trace as _trace
 
 #: Key type: (model name, model version, n_samples, stream position).
 StackKey = tuple[str, int, int, int]
@@ -75,6 +76,11 @@ class WeightStackCache:
         self.misses = 0
         #: Stream draws performed (== misses that completed a build).
         self.draws = 0
+        #: Single-flight waits: lookups that blocked on another worker's
+        #: in-progress build instead of drawing themselves.
+        self.waits = 0
+        #: LRU evictions (capacity pressure; invalidations not counted).
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -122,12 +128,17 @@ class WeightStackCache:
                     builder = True
                 else:
                     builder = False
+                    self.waits += 1
             if not builder:
                 # Another worker is drawing this stack; wait and re-read.
                 pending.wait()
                 continue
             try:
-                stacks = entry.build_weight_stack(position)
+                # The draw is the dominant cost of a shared-stack miss;
+                # attribute it to the request trace's stack_build phase
+                # (a no-op when no phase collection is active).
+                with _trace.phase("stack_build"):
+                    stacks = entry.build_weight_stack(position)
             except BaseException:
                 with self._lock:
                     del self._building[key]
@@ -140,6 +151,7 @@ class WeightStackCache:
                 self._entries.move_to_end(key)
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
                 del self._building[key]
             pending.set()
             return stacks

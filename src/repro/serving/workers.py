@@ -19,11 +19,15 @@ on the caller's thread, so both modes run the identical execution path.
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import trace as _trace
+from repro.obs.trace import Tracer
 from repro.serving.batcher import Batch, MicroBatcher
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
@@ -46,6 +50,7 @@ class ServingWorker(threading.Thread):
         cache: PredictionCache,
         metrics: ServiceMetrics,
         stack_cache: WeightStackCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         super().__init__(name=f"bnn-serving-worker-{index}", daemon=True)
         self.index = index
@@ -54,6 +59,7 @@ class ServingWorker(threading.Thread):
         self.cache = cache
         self.metrics = metrics
         self.stack_cache = stack_cache
+        self.tracer = tracer
         # Per-worker predictor cache: model name -> (version, predictor).
         self._predictors: dict[str, tuple[int, object]] = {}
 
@@ -79,10 +85,24 @@ class ServingWorker(threading.Thread):
         """
         if len(batch) == 0:
             return
+        tracer = self.tracer
+        traced = tracer is not None and any(
+            ticket.trace is not None for ticket in batch.tickets
+        )
+        exec_start = time.perf_counter()
+        # Phase collection is installed only for traced batches; the inner
+        # phase() calls degrade to a single thread-local read otherwise.
+        batch_phases: dict[str, float] = {}
+        collect = (
+            _trace.collect_phases(batch_phases) if traced else contextlib.nullcontext()
+        )
         try:
-            entry = self.registry.get(batch.model)
-            predictor = self._predictor_for(entry)
-            probs = np.asarray(predictor.predict_proba_batched(batch.stack()))
+            with collect:
+                with _trace.phase("stack_build"):
+                    entry = self.registry.get(batch.model)
+                    predictor = self._predictor_for(entry)
+                with _trace.phase("inference"):
+                    probs = np.asarray(predictor.predict_proba_batched(batch.stack()))
             if probs.ndim != 2 or probs.shape != (len(batch), entry.out_features):
                 raise ConfigurationError(
                     f"predictor for model {entry.name!r} returned shape "
@@ -91,6 +111,13 @@ class ServingWorker(threading.Thread):
         except Exception as error:  # noqa: BLE001 - fault barrier per batch
             for ticket in batch.tickets:
                 ticket.set_exception(error)
+                if traced and ticket.trace is not None:
+                    span = ticket.trace
+                    span.batch_size = len(batch)
+                    span.worker = self.index
+                    tracer.finish(
+                        span, end=ticket.completed_at, error=type(error).__name__
+                    )
             self.metrics.record_batch(len(batch))
             for _ in batch.tickets:
                 self.metrics.record_failure()
@@ -101,6 +128,26 @@ class ServingWorker(threading.Thread):
             pass_counts = pop_pass_counts()
             if pass_counts is not None:
                 self.metrics.record_adaptive(pass_counts, entry.n_samples)
+        if traced:
+            # The batch's queue residency splits at its youngest arrival:
+            # request i waited [enqueued_i, e_last] for the batch to fill
+            # (coalescing) and [e_last, exec_start] for dispatch.  Both
+            # intervals plus the batch-level stack_build/inference and the
+            # per-ticket respond tail are disjoint sub-intervals of each
+            # request's [start, completed_at] window, so summed phases
+            # never exceed wall time.
+            e_last = max(
+                (
+                    span.marks.get("enqueued", span.start)
+                    for span in (t.trace for t in batch.tickets)
+                    if span is not None
+                ),
+                default=exec_start,
+            )
+            e_last = min(e_last, exec_start)
+            stack_s = batch_phases.get("stack_build", 0.0)
+            infer_s = batch_phases.get("inference", 0.0)
+        respond_start = time.perf_counter()
         for row_index, ticket in enumerate(batch.tickets):
             row = probs[row_index]
             if self.cache.capacity:  # skip the per-row digest when disabled
@@ -112,6 +159,17 @@ class ServingWorker(threading.Thread):
                 )
             ticket.set_result(row)
             self.metrics.record_latency(ticket.latency())
+            if traced and ticket.trace is not None:
+                span = ticket.trace
+                enqueued = min(span.marks.get("enqueued", span.start), e_last)
+                span.add_phase("batch_fill", e_last - enqueued)
+                span.add_phase("queue_wait", exec_start - e_last)
+                span.add_phase("stack_build", stack_s)
+                span.add_phase("inference", infer_s)
+                span.add_phase("respond", ticket.completed_at - respond_start)
+                span.batch_size = len(batch)
+                span.worker = self.index
+                tracer.finish(span, end=ticket.completed_at)
 
     # ------------------------------------------------------------------
     def run(self) -> None:  # pragma: no cover - exercised via WorkerPool tests
@@ -134,11 +192,12 @@ class WorkerPool:
         metrics: ServiceMetrics,
         workers: int = 2,
         stack_cache: WeightStackCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         check_positive("workers", workers)
         self.batcher = batcher
         self.workers = [
-            ServingWorker(index, registry, batcher, cache, metrics, stack_cache)
+            ServingWorker(index, registry, batcher, cache, metrics, stack_cache, tracer)
             for index in range(workers)
         ]
         for worker in self.workers:

@@ -141,3 +141,56 @@ class TestServingVerbs:
         ) == 0
         out = capsys.readouterr().out
         assert "open-loop" in out and "latency" in out
+
+
+class TestObservabilityFlags:
+    def test_serve_demo_writes_all_obs_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        metrics_json = tmp_path / "metrics.json"
+        metrics_prom = tmp_path / "metrics.prom"
+        samples = tmp_path / "samples.jsonl"
+        assert main(
+            ["serve-demo", "--requests", "16", "--workers", "0",
+             "--trace-out", str(trace),
+             "--metrics-json", str(metrics_json),
+             "--metrics-prom", str(metrics_prom),
+             "--samples-out", str(samples),
+             "--profile",
+             *_QUICK_SERVING_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert trace.exists() and metrics_json.exists()
+        assert metrics_prom.exists() and samples.exists()
+        assert "kernel" in out  # the profiler table was rendered
+
+        import json
+
+        span = json.loads(trace.read_text().splitlines()[0])
+        assert "phases" in span and span["latency_s"] > 0
+        body = json.loads(metrics_json.read_text())
+        assert "service_requests_total" in body["metrics"]
+
+        from repro.obs import parse_prometheus
+
+        parsed = parse_prometheus(metrics_prom.read_text())
+        assert any(s["name"] == "service_requests_total" for s in parsed)
+
+    def test_obs_report_renders_phase_table(self, capsys, tmp_path):
+        trace = tmp_path / "spans.jsonl"
+        assert main(
+            ["serve-demo", "--requests", "16", "--workers", "0",
+             "--trace-out", str(trace), *_QUICK_SERVING_ARGS]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "phase" in out and "p95" in out
+
+    def test_profiling_disabled_after_run(self, capsys):
+        from repro.obs import profile as profile_mod
+
+        assert main(
+            ["serve-demo", "--requests", "8", "--workers", "0", "--profile",
+             *_QUICK_SERVING_ARGS]
+        ) == 0
+        assert profile_mod.ACTIVE is None

@@ -1,0 +1,171 @@
+"""Bench-result recorder schema and the regression comparator."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import BenchRecorder, compare_result_dicts, load_result
+from repro.obs.bench import SCHEMA_VERSION
+
+
+def make_result(**metrics) -> dict:
+    """A schema-1 document with the given ``name=(value, direction, ...)``."""
+    doc = {"schema": SCHEMA_VERSION, "bench": "b", "metrics": {}}
+    for name, spec in metrics.items():
+        entry = {"value": spec[0], "direction": spec[1], "comparable": False}
+        if len(spec) > 2:
+            entry["comparable"] = spec[2]
+        if len(spec) > 3:
+            entry["tolerance"] = spec[3]
+        doc["metrics"][name] = entry
+    return doc
+
+
+class TestRecorder:
+    def test_document_shape_and_write(self, tmp_path):
+        recorder = BenchRecorder("bench_x", mode="quick", config={"n": 4})
+        recorder.record("speedup", 7.5, unit="x")
+        recorder.record(
+            "bit_exact", 1.0, comparable=True, tolerance=0.0
+        )
+        path = recorder.write(tmp_path / "results")
+        assert path.name == "bench_x.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["bench"] == "bench_x"
+        assert doc["mode"] == "quick"
+        assert doc["config"] == {"n": 4}
+        assert set(doc["machine"]) == {"platform", "python", "numpy", "cpus"}
+        assert doc["metrics"]["speedup"] == {
+            "value": 7.5, "unit": "x", "direction": "higher", "comparable": False,
+        }
+        assert doc["metrics"]["bit_exact"]["comparable"] is True
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchRecorder("")
+        recorder = BenchRecorder("b")
+        with pytest.raises(ConfigurationError):
+            recorder.record("m", 1.0, direction="sideways")
+
+    def test_load_result_round_trip_and_schema_check(self, tmp_path):
+        recorder = BenchRecorder("b")
+        recorder.record("m", 2.0)
+        path = recorder.write(tmp_path)
+        assert load_result(path)["metrics"]["m"]["value"] == 2.0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 99, "bench": "b", "metrics": {}}))
+        with pytest.raises(ConfigurationError):
+            load_result(bad)
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text(json.dumps({"schema": SCHEMA_VERSION}))
+        with pytest.raises(ConfigurationError):
+            load_result(malformed)
+
+
+class TestComparator:
+    def test_equal_results_pass(self):
+        base = make_result(rps=(100.0, "higher"))
+        assert compare_result_dicts(dict(base), base) == []
+
+    def test_higher_direction_flags_drops_beyond_threshold(self):
+        base = make_result(rps=(100.0, "higher"))
+        ok = make_result(rps=(91.0, "higher"))
+        bad = make_result(rps=(89.0, "higher"))
+        assert compare_result_dicts(ok, base, threshold=0.10) == []
+        problems = compare_result_dicts(bad, base, threshold=0.10)
+        assert len(problems) == 1 and "rps" in problems[0]
+
+    def test_higher_direction_never_flags_improvement(self):
+        base = make_result(rps=(100.0, "higher"))
+        assert compare_result_dicts(make_result(rps=(500.0, "higher")), base) == []
+
+    def test_lower_direction_flags_rises(self):
+        base = make_result(latency=(0.010, "lower"))
+        ok = make_result(latency=(0.0105, "lower"))
+        bad = make_result(latency=(0.020, "lower"))
+        assert compare_result_dicts(ok, base, threshold=0.10) == []
+        assert len(compare_result_dicts(bad, base, threshold=0.10)) == 1
+
+    def test_tolerance_widens_the_slack(self):
+        # |base| = 0 makes the relative threshold useless; tolerance rules.
+        base = make_result(delta=(0.0, "lower", True, 0.004))
+        ok = make_result(delta=(0.003, "lower", True, 0.004))
+        bad = make_result(delta=(0.005, "lower", True, 0.004))
+        assert compare_result_dicts(ok, base) == []
+        assert len(compare_result_dicts(bad, base)) == 1
+
+    def test_missing_metric_is_a_regression(self):
+        base = make_result(gate=(1.0, "higher", True))
+        problems = compare_result_dicts({"metrics": {}}, base)
+        assert len(problems) == 1 and "missing" in problems[0]
+
+    def test_new_only_metrics_are_not_regressions(self):
+        base = make_result(a=(1.0, "higher"))
+        new = make_result(a=(1.0, "higher"), b=(0.0, "higher"))
+        assert compare_result_dicts(new, base) == []
+
+    def test_smoke_mode_checks_only_comparable_metrics(self):
+        base = make_result(
+            timing=(100.0, "higher", False),
+            bit_exact=(1.0, "higher", True),
+        )
+        new = make_result(
+            timing=(1.0, "higher", False),  # huge drop, but machine-dependent
+            bit_exact=(1.0, "higher", True),
+        )
+        assert compare_result_dicts(new, base, comparable_only=True) == []
+        # Full mode still sees the timing drop.
+        assert len(compare_result_dicts(new, base)) == 1
+        # And a comparable regression fails even in smoke mode.
+        new["metrics"]["bit_exact"]["value"] = 0.0
+        problems = compare_result_dicts(new, base, comparable_only=True)
+        assert len(problems) == 1 and "bit_exact" in problems[0]
+
+
+class TestCompareResultsCli:
+    def test_directory_walk_and_exit_codes(self, tmp_path, capsys):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "compare_results",
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks"
+            / "compare_results.py",
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        baseline_dir = tmp_path / "baseline"
+        results_dir = tmp_path / "results"
+        recorder = BenchRecorder("bench_a")
+        recorder.record("gate", 1.0, comparable=True)
+        recorder.write(baseline_dir)
+        recorder.write(results_dir)
+
+        assert mod.main(
+            ["--baseline", str(baseline_dir), "--results", str(results_dir),
+             "--smoke"]
+        ) == 0
+        assert "ok   bench_a" in capsys.readouterr().out
+
+        regressed = BenchRecorder("bench_a")
+        regressed.record("gate", 0.0, comparable=True)
+        regressed.write(results_dir)
+        assert mod.main(
+            ["--baseline", str(baseline_dir), "--results", str(results_dir),
+             "--smoke"]
+        ) == 1
+        assert "FAIL bench_a" in capsys.readouterr().out
+
+        (results_dir / "bench_a.json").unlink()
+        assert mod.main(
+            ["--baseline", str(baseline_dir), "--results", str(results_dir)]
+        ) == 1
+        assert "no matching result" in capsys.readouterr().out
+
+        assert mod.main(
+            ["--baseline", str(tmp_path / "empty"), "--results", str(results_dir)]
+        ) == 2

@@ -1,0 +1,116 @@
+"""Prometheus text exposition, its parser (round-trip), and JSON export."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    registry_to_json,
+    render_prometheus,
+    write_metrics_json,
+)
+
+
+@pytest.fixture()
+def populated():
+    registry = MetricsRegistry()
+    c = registry.counter("req_total", "Requests", labels=("outcome",))
+    c.inc(3, outcome="ok")
+    c.inc(outcome="err")
+    registry.gauge("depth", "Queue depth").set(5)
+    h = registry.histogram("lat_seconds", "Latency", buckets=(0.01, 0.1))
+    h.observe(0.005)
+    h.observe(0.05)
+    h.observe(2.0)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_help_type_and_samples(self, populated):
+        text = render_prometheus(populated)
+        assert "# HELP req_total Requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{outcome="ok"} 3' in text
+        assert 'req_total{outcome="err"} 1' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 5" in text
+
+    def test_histogram_exposition(self, populated):
+        text = render_prometheus(populated)
+        assert 'lat_seconds_bucket{le="0.01"} 1' in text
+        assert 'lat_seconds_bucket{le="0.1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 2.055" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("esc_total", labels=("path",))
+        c.inc(path='a"b\\c\nd')
+        text = render_prometheus(registry)
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+        # ... and the parser undoes the escaping exactly.
+        (sample,) = parse_prometheus(text)
+        assert sample["labels"] == {"path": 'a"b\\c\nd'}
+
+
+class TestParsePrometheus:
+    def test_round_trip_every_sample(self, populated):
+        text = render_prometheus(populated)
+        samples = parse_prometheus(text)
+        by_key = {
+            (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+            for s in samples
+        }
+        assert by_key[("req_total", (("outcome", "ok"),))] == 3
+        assert by_key[("depth", ())] == 5
+        assert by_key[("lat_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert by_key[("lat_seconds_count", ())] == 3
+        # Re-rendering after a parse loses nothing: sample count is stable.
+        assert len(samples) == sum(
+            1 for line in text.splitlines() if line and not line.startswith("#")
+        )
+
+    def test_inf_values(self):
+        samples = parse_prometheus("up +Inf\ndown -Inf\n")
+        assert samples[0]["value"] == math.inf
+        assert samples[1]["value"] == -math.inf
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "# BOGUS comment here",
+            'metric{unclosed="1' + "\n",
+            "metric{a=1} 2",
+            "nameonly",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises((ConfigurationError, ValueError, IndexError)):
+            parse_prometheus(line)
+
+
+class TestJsonExport:
+    def test_registry_to_json_shape(self, populated):
+        doc = registry_to_json(populated)
+        assert doc["req_total"]["type"] == "counter"
+        assert doc["req_total"]["labels"] == ["outcome"]
+        series = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in doc["req_total"]["series"]
+        }
+        assert series[(("outcome", "ok"),)] == 3
+        hist = doc["lat_seconds"]["series"][0]
+        assert hist["count"] == 3
+        assert hist["buckets"] == {"0.01": 1, "0.1": 2}
+
+    def test_write_metrics_json(self, populated, tmp_path):
+        path = tmp_path / "nested" / "metrics.json"
+        write_metrics_json(populated, path, extra={"run": "t1"})
+        body = json.loads(path.read_text())
+        assert body["run"] == "t1"
+        assert body["metrics"]["depth"]["series"][0]["value"] == 5

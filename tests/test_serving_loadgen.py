@@ -66,3 +66,38 @@ class TestClosedLoopAccounting:
     def test_zero_duration_safe(self):
         stats = LoadStats(pattern="x", offered=0, completed=0)
         assert stats.throughput_rps == 0.0
+
+
+class TestSampleExportSatellite:
+    def test_submit_ts_aligned_with_latencies(self):
+        with _service() as service:
+            stats = run_closed_loop(service, "m", X, total_requests=20, window=8)
+        assert len(stats.submit_ts) == len(stats.latencies_s) == stats.completed
+        # perf_counter stamps: monotone non-negative, and all inside the run.
+        assert all(ts > 0 for ts in stats.submit_ts)
+
+    def test_mean_max_and_summary(self):
+        stats = LoadStats(
+            pattern="closed", offered=3, completed=3,
+            latencies_s=[0.010, 0.020, 0.060], submit_ts=[1.0, 2.0, 3.0],
+        )
+        assert stats.latency_mean() == (0.010 + 0.020 + 0.060) / 3
+        assert stats.latency_max() == 0.060
+        summary = stats.summary()
+        assert summary["mean"] == stats.latency_mean()
+        assert summary["max"] == 0.060
+        assert "p99" in summary
+        assert "mean=" in stats.render() and "max=" in stats.render()
+
+    def test_export_samples_jsonl(self, tmp_path):
+        import json
+
+        with _service() as service:
+            stats = run_closed_loop(service, "m", X, total_requests=12, window=4)
+        path = tmp_path / "nested" / "samples.jsonl"
+        written = stats.export_samples(path)
+        assert written == path
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == stats.completed
+        assert all(set(r) == {"submit_ts", "latency_s"} for r in rows)
+        assert [r["latency_s"] for r in rows] == stats.latencies_s
