@@ -213,7 +213,7 @@ def main(argv: list[str] | None = None) -> int:
     check_batch_equivalence(args.quick)  # SystemExit on mismatch
     check_fault_equivalence(args.quick)
     check_pipeline_closed_form()
-    recorder.record("datapath_bit_exact", 1.0, comparable=True)
+    recorder.record("datapath_bit_exact", 1.0, unit="bool", comparable=True)
     speedup = bench_detailed_speedup(args.quick)
     recorder.record("detailed_speedup", speedup, unit="x")
     print(f"results written to {recorder.write(RESULTS_DIR)}")

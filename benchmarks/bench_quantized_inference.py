@@ -223,7 +223,7 @@ def main(argv: list[str] | None = None) -> int:
         config={"quick": args.quick},
     )
     check_equivalence(args.quick)  # SystemExit on mismatch
-    recorder.record("stacked_bit_exact", 1.0, comparable=True)
+    recorder.record("stacked_bit_exact", 1.0, unit="bool", comparable=True)
     headline = bench_mc_inference(args.quick)
     recorder.record("quantized_speedup", headline, unit="x")
     print(f"results written to {recorder.write(RESULTS_DIR)}")

@@ -426,7 +426,7 @@ def bench_adaptive(quick: bool, recorder: BenchRecorder) -> int:
     # Deterministic (seeded) metrics are machine-independent -> comparable;
     # the speedup ratio is wall-clock and only compared on one machine.
     recorder.record(
-        "adaptive_bit_exact", 1.0 if bit_exact else 0.0, comparable=True
+        "adaptive_bit_exact", 1.0 if bit_exact else 0.0, unit="bool", comparable=True
     )
     recorder.record(
         "adaptive_accuracy_delta",
@@ -500,7 +500,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_open_loop_latency(network, images, n_samples, capacity, args.quick)
     obs_code = bench_obs_overhead(network, images, n_samples, args.quick, recorder)
 
-    recorder.record("serving_bit_exact", 1.0 if ok else 0.0, comparable=True)
+    recorder.record("serving_bit_exact", 1.0 if ok else 0.0, unit="bool", comparable=True)
     recorder.record("microbatch_speedup", headline, unit="x")
     recorder.record("capacity_rps", capacity, unit="req/s")
     print(f"results written to {recorder.write(RESULTS_DIR)}")

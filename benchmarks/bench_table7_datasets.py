@@ -1,7 +1,5 @@
 """Benchmark: regenerate Table 7 (disease-dataset accuracy of the trio)."""
 
-import numpy as np
-
 from repro.experiments import table7
 
 

@@ -10,8 +10,6 @@ Run:  python examples/grng_quality.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.grng import available_grngs, make_grng
 from repro.grng.quality import (
     autocorrelation,

@@ -14,8 +14,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bnn import Adam, MonteCarloPredictor, Trainer, accuracy
 from repro.datasets import load_digits_split
 from repro.experiments.training import make_bnn

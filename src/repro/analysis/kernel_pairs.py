@@ -1,0 +1,129 @@
+"""RL002 — the kernel-pair contract (vectorized kernel ↔ ``*_loop`` reference).
+
+Every perf PR in this repo followed the same pattern: the scalar reference
+implementation is *kept*, renamed ``<kernel>_loop``, and a test asserts the
+vectorized path is bit-for-bit equal to it.  That reference is only worth
+keeping while some test actually compares the two — otherwise the pair can
+drift apart silently and the "bit-exact" claim in the docs goes stale.
+
+This rule cross-checks the ``src/`` AST against the ``tests/`` AST:
+
+* a **pair** is a public definition ``X`` with a sibling ``X_loop`` in the
+  same scope (same class body, or same module top level);
+* the pair is **covered** when at least one test module references both
+  names (name-level matching: an ``ast.Name`` or ``ast.Attribute`` whose
+  identifier equals ``X`` respectively ``X_loop`` anywhere in the module).
+
+Name-level matching is deliberately coarse — it cannot prove the test
+*asserts equivalence* — but it is exactly sharp enough to catch the real
+failure mode (a pair nobody compares anymore) without false-failing on
+helper indirection inside the test module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.engine import Finding, Project, Rule, SourceFile
+
+#: Suffix that marks a scalar reference implementation.
+LOOP_SUFFIX = "_loop"
+
+
+@dataclass(frozen=True)
+class KernelPair:
+    """One vectorized kernel and its scalar reference sibling."""
+
+    source: SourceFile
+    scope: str  # "<module>" or the defining class name
+    fast: str
+    loop: str
+    line: int  # definition line of the vectorized kernel
+
+
+def collect_pairs(project: Project) -> list[KernelPair]:
+    """Every public ``X``/``X_loop`` sibling pair under ``src/``."""
+    pairs: list[KernelPair] = []
+    for source in project.under("src/"):
+        scopes: list[tuple[str, list[ast.stmt]]] = [("<module>", source.tree.body)]
+        scopes.extend(
+            (node.name, node.body)
+            for node in ast.walk(source.tree)
+            if isinstance(node, ast.ClassDef)
+        )
+        for scope_name, body in scopes:
+            defs = {
+                stmt.name: stmt
+                for stmt in body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for name, stmt in defs.items():
+                if not name.endswith(LOOP_SUFFIX) or name.startswith("_"):
+                    continue
+                fast = name[: -len(LOOP_SUFFIX)]
+                if not fast or fast.startswith("_") or fast not in defs:
+                    continue  # no vectorized sibling (e.g. run_open_loop)
+                pairs.append(
+                    KernelPair(
+                        source=source,
+                        scope=scope_name,
+                        fast=fast,
+                        loop=name,
+                        line=defs[fast].lineno,
+                    )
+                )
+    return pairs
+
+
+def referenced_names(tree: ast.Module) -> set[str]:
+    """Every identifier a module mentions (names and attribute tails)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class KernelPairRule(Rule):
+    """RL002: every vectorized kernel's ``*_loop`` reference is exercised.
+
+    For each public ``X``/``X_loop`` pair in ``src/``, at least one module
+    under ``tests/`` must reference *both* names — the equivalence test
+    that keeps the bit-exactness claim honest.
+    """
+
+    id = "RL002"
+    title = "kernel-pair contract"
+    hint = (
+        "add (or restore) a test that references both the vectorized kernel "
+        "and its *_loop reference and asserts they are bit-for-bit equal"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        test_files = project.under("tests/")
+        names_by_test = [referenced_names(t.tree) for t in test_files]
+        for pair in collect_pairs(project):
+            covered = any(
+                pair.fast in names and pair.loop in names
+                for names in names_by_test
+            )
+            if covered:
+                continue
+            where = "" if pair.scope == "<module>" else f"{pair.scope}."
+            yield Finding(
+                rule=self.id,
+                path=pair.source.rel,
+                line=pair.line,
+                message=(
+                    f"kernel pair {where}{pair.fast}/{pair.loop} has no test "
+                    "module referencing both sides"
+                ),
+                scope=pair.scope,
+                token=f"{pair.fast}/{pair.loop}",
+                severity=self.severity,
+                hint=self.hint,
+            )

@@ -1,0 +1,224 @@
+"""RL005 — lock-discipline race detector for the serving and obs tiers.
+
+The serving stack (PR 2/6) and the observability layer (PR 7) are the two
+places where threads share mutable state; their convention is simple: any
+attribute that is mutated under ``self._lock`` (or inside a ``*_locked``
+helper, whose name documents "caller holds the lock") belongs to the lock,
+and every other touch of it must take the lock too.
+
+This is an *intra-class, static* approximation of a race detector:
+
+1. **Lock attributes** — ``self.X = threading.Lock() / RLock() /
+   Condition(...)`` assignments in ``__init__`` (resolved through the
+   module's import table), plus the conventional ``_lock`` name.  A
+   ``Condition`` wraps a lock, so ``with self._not_empty:`` counts as
+   holding it.
+2. **Guarded attributes** — any ``self.Y`` the class ever mutates while a
+   lock is held or inside a ``*_locked`` method: direct assignment,
+   augmented assignment, ``del``, or a subscript store/delete
+   (``self.Y[k] = v``).  ``__init__`` mutations are construction, not
+   guarded use, so a lock-free ``__init__`` stays idiomatic.
+3. **Violations** — every read *or* write of a guarded attribute reachable
+   outside a lock-held region, excluding ``__init__`` and ``*_locked``
+   methods.  Code inside nested functions/lambdas is treated as
+   lock-free even when defined under the lock: a callback runs later,
+   when the lock is long released.
+
+Method-call mutation (``self._queue.append(...)``) is indistinguishable
+from a read statically, so it does not *mark* an attribute guarded — but
+once the attribute is guarded by a real store somewhere, such calls are
+correctly flagged when they happen outside the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.engine import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+    resolve_dotted,
+)
+
+#: Directories with thread-shared state (the rule's scope).
+LOCKED_TIERS = ("src/repro/serving/", "src/repro/obs/")
+
+#: Constructors whose product is a lock-equivalent context manager.
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+}
+
+#: Attribute name treated as a lock even without a recognised constructor.
+_CONVENTIONAL_LOCK = "_lock"
+
+#: Methods whose suffix documents "caller already holds the lock".
+LOCKED_SUFFIX = "_locked"
+
+
+@dataclass(frozen=True)
+class _Occurrence:
+    attr: str
+    line: int
+    held: bool
+    mutating: bool
+    method: str
+
+
+def _lock_attributes(class_node: ast.ClassDef, aliases: dict[str, str]) -> set[str]:
+    """Attributes of ``class_node`` that hold locks/conditions."""
+    locks = {_CONVENTIONAL_LOCK}
+    for method in class_node.body:
+        if not isinstance(method, ast.FunctionDef) or method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            factory = dotted_name(node.value.func)
+            if factory is None:
+                continue
+            if resolve_dotted(factory, aliases) not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+    return locks
+
+
+def _scan_method(method: ast.FunctionDef, locks: set[str]) -> list[_Occurrence]:
+    """Every ``self.<attr>`` occurrence in ``method`` with lock context."""
+    occurrences: list[_Occurrence] = []
+
+    def is_self_attr(node: ast.AST) -> "str | None":
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def is_lock_guard(expr: ast.AST) -> bool:
+        attr = is_self_attr(expr)
+        return attr is not None and attr in locks
+
+    def visit(node: ast.AST, held: bool) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held or any(is_lock_guard(item.context_expr) for item in node.items)
+            for item in node.items:
+                visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, held)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested def/lambda runs later, without the caller's lock.
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if isinstance(node, (ast.Subscript,)) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            attr = is_self_attr(node.value)
+            if attr is not None:
+                occurrences.append(
+                    _Occurrence(attr, node.lineno, held, True, method.name)
+                )
+        attr = is_self_attr(node)
+        if attr is not None:
+            mutating = isinstance(node.ctx, (ast.Store, ast.Del))
+            occurrences.append(
+                _Occurrence(attr, node.lineno, held, mutating, method.name)
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in method.body:
+        visit(stmt, False)
+    return occurrences
+
+
+class LockDisciplineRule(Rule):
+    """RL005: lock-guarded attributes are only touched under the lock."""
+
+    id = "RL005"
+    title = "lock discipline"
+    hint = (
+        "take self._lock around the access, move it into a *_locked helper "
+        "(callers then hold the lock), or stop mutating the attribute under "
+        "the lock if it is genuinely immutable after __init__"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.under(*LOCKED_TIERS):
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(source.tree)
+        for class_node in ast.walk(source.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            yield from self._check_class(source, class_node, aliases)
+
+    def _check_class(
+        self,
+        source: SourceFile,
+        class_node: ast.ClassDef,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        locks = _lock_attributes(class_node, aliases)
+        methods = [
+            node for node in class_node.body if isinstance(node, ast.FunctionDef)
+        ]
+        scans = {method.name: _scan_method(method, locks) for method in methods}
+
+        guarded: set[str] = set()
+        for name, occurrences in scans.items():
+            if name == "__init__":
+                continue
+            exempt = name.endswith(LOCKED_SUFFIX)
+            for occ in occurrences:
+                if occ.mutating and (occ.held or exempt) and occ.attr not in locks:
+                    guarded.add(occ.attr)
+        if not guarded:
+            return
+
+        reported: set[tuple[str, int]] = set()
+        for name, occurrences in scans.items():
+            if name == "__init__" or name.endswith(LOCKED_SUFFIX):
+                continue
+            for occ in occurrences:
+                if occ.held or occ.attr not in guarded:
+                    continue
+                key = (occ.attr, occ.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                access = "written" if occ.mutating else "read"
+                yield Finding(
+                    rule=self.id,
+                    path=source.rel,
+                    line=occ.line,
+                    message=(
+                        f"{class_node.name}.{occ.attr} is guarded by the class "
+                        f"lock but {access} without it in {name}()"
+                    ),
+                    scope=f"{class_node.name}.{name}",
+                    token=occ.attr,
+                    severity=self.severity,
+                    hint=self.hint,
+                )

@@ -37,14 +37,14 @@ from repro.bnn.inference import (
     stacked_forward,
     stacked_forward_stacks,
 )
-from repro.bnn.regression import BayesianRegressor
-from repro.bnn.serialization import export_memory_image, load_posterior, save_posterior
 from repro.bnn.losses import cross_entropy_loss
 from repro.bnn.metrics import accuracy, negative_log_likelihood
 from repro.bnn.network import FeedForwardNetwork
 from repro.bnn.optimizers import Adam, Sgd
 from repro.bnn.priors import GaussianPrior, ScaleMixturePrior
 from repro.bnn.quantized import QuantizedBayesianNetwork
+from repro.bnn.regression import BayesianRegressor
+from repro.bnn.serialization import export_memory_image, load_posterior, save_posterior
 from repro.bnn.trainer import Trainer, TrainingHistory
 
 __all__ = [

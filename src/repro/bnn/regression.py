@@ -23,6 +23,7 @@ from repro.bnn.activations import relu, relu_grad
 from repro.bnn.bayesian import BayesianDenseLayer
 from repro.bnn.priors import GaussianPrior
 from repro.errors import ConfigurationError, TrainingError
+from repro.utils.seeding import generator_from_seed
 from repro.utils.validation import check_positive
 
 
@@ -123,7 +124,7 @@ class BayesianRegressor:
         x = np.asarray(x, dtype=np.float64)
         targets = np.asarray(targets, dtype=np.float64)
         n = x.shape[0]
-        rng = np.random.default_rng(seed)
+        rng = generator_from_seed(seed)
         kl_scale = 1.0 / n
         history = []
         for _ in range(epochs):

@@ -14,7 +14,6 @@ import numpy as np
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.conv_network import BayesianConvNetwork
 from repro.bnn.metrics import accuracy
-from repro.bnn.network import FeedForwardNetwork
 from repro.bnn.optimizers import Adam
 from repro.errors import ConfigurationError, TrainingError
 from repro.obs import profile as _profile

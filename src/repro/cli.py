@@ -27,17 +27,25 @@ request spans, ``--metrics-json`` / ``--metrics-prom`` for the unified
 registry, ``--profile`` for the kernel rollup, ``--samples-out`` for raw
 client samples); ``obs-report`` renders a saved span file as the
 per-phase latency-breakdown table (see ``docs/OBSERVABILITY.md``).
+
+``lint`` runs **reprolint**, the AST-based invariant linter
+(``docs/ANALYSIS.md``): seed discipline, kernel-pair coverage, the GRNG
+count contract, typed errors, and serving/obs lock discipline — exiting
+non-zero on any finding that is neither suppressed inline nor
+grandfathered in the committed ``analysis-baseline.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import tempfile
 
 import numpy as np
 
+from repro.analysis import Baseline, default_root, lint_project
 from repro.bnn.adaptive import AdaptiveConfig
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.serialization import save_posterior
@@ -380,6 +388,55 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint over the tree; non-zero exit on any new finding.
+
+    The baseline defaults to ``<root>/analysis-baseline.json`` when that
+    file exists, so the committed grandfather list applies without flags;
+    ``--no-baseline`` lints raw.  ``--write-baseline`` rewrites the file
+    from the current findings (keeping recorded reasons for fingerprints
+    that survive) — the escape hatch for landing a new rule with
+    pre-existing findings, not for silencing fresh ones.
+    """
+    root = args.root if args.root is not None else default_root()
+    baseline_path = (
+        args.baseline
+        if args.baseline is not None
+        else pathlib.Path(root) / "analysis-baseline.json"
+    )
+    baseline = None
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    report = lint_project(root, baseline=baseline, only=args.rules)
+    if args.write_baseline:
+        previous = baseline.entries if baseline is not None else {}
+        merged = Baseline(
+            {
+                finding.fingerprint: previous.get(
+                    finding.fingerprint, "grandfathered by --write-baseline"
+                )
+                for finding in report.new + report.baselined
+            }
+        )
+        merged.write(baseline_path)
+        print(f"wrote {len(merged.entries)} baseline entr(y/ies) to {baseline_path}")
+        return 0
+    rendered = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.format == "json"
+        else report.render()
+    )
+    print(rendered)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+            if args.format == "json"
+            else rendered + "\n"
+        )
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VIBNN reproduction command-line interface"
@@ -460,6 +517,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("spans", type=pathlib.Path, help="JSON-lines span file")
     report.set_defaults(func=_cmd_obs_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint (the AST invariant linter) over the project tree",
+    )
+    lint.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=None,
+        help="project root to lint (default: this checkout)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: <root>/analysis-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="restrict the run to these rule ids (e.g. RL001 RL005)",
+    )
+    lint.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write the report here (the CI artifact path)",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

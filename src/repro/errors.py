@@ -40,6 +40,11 @@ class DatasetError(ReproError):
     """A synthetic dataset generator received inconsistent parameters."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis layer (reprolint) could not run: unparseable
+    source, a malformed baseline file, or an unknown rule id."""
+
+
 class ServingError(ReproError):
     """Base class for errors raised by the serving subsystem."""
 

@@ -12,8 +12,6 @@ hardware GRNGs, quantifying the end-task cost of hardware randomness.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bnn import Adam, Trainer, accuracy
 from repro.datasets import load_digits_split
 from repro.experiments.common import BNN_TRAINING, render_table, scaled

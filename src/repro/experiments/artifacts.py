@@ -115,7 +115,7 @@ def _canonical(value):
         return int(value)
     if isinstance(value, (np.floating,)):
         return float(value)
-    raise TypeError(f"unsupported spec value {value!r}")
+    raise ConfigurationError(f"unsupported spec value {value!r}")
 
 
 class ArtifactCache:

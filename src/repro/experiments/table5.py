@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.bnn.bayesian import BayesianNetwork
 from repro.bnn.inference import MonteCarloPredictor
 from repro.experiments.common import render_table, scaled
@@ -28,6 +26,7 @@ from repro.grng.stream import GrngStream
 from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import schedule_network
 from repro.hw.resources import system_power_mw
+from repro.utils.seeding import generator_from_seed
 
 PAPER = {
     "Intel i7-6700k": (10_478.1, 115.1),
@@ -56,7 +55,7 @@ def _measure_cpu_throughput(layer_sizes: tuple[int, ...], seconds: float) -> flo
     """Measured single-sample BNN inference throughput of this host."""
     network = BayesianNetwork(layer_sizes, seed=0)
     batch = 64
-    x = np.random.default_rng(0).random((batch, layer_sizes[0]))
+    x = generator_from_seed(0).random((batch, layer_sizes[0]))
     return _timed_throughput(lambda: network.forward(x, sample=True), batch, seconds)
 
 
@@ -76,7 +75,7 @@ def _measure_cpu_batched_throughput(
         network, grng=GrngStream(NumpyGrng(0)), n_samples=n_samples
     )
     batch = 64
-    x = np.random.default_rng(0).random((batch, layer_sizes[0]))
+    x = generator_from_seed(0).random((batch, layer_sizes[0]))
     return _timed_throughput(
         lambda: predictor.predict_proba(x), batch * n_samples, seconds
     )

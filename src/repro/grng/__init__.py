@@ -26,10 +26,10 @@ baseline they are compared against:
 """
 
 from repro.grng.base import Grng, NumpyGrng
+from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.box_muller import BoxMullerGrng
 from repro.grng.cdf_inversion import CdfInversionGrng
 from repro.grng.clt import BinomialLfsrGrng, CentralLimitGrng
-from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.factory import available_grngs, make_grng
 from repro.grng.lut_icdf import LutIcdfGrng
 from repro.grng.rlf import ParallelRlfGrng, RlfGrng, RlfLogic

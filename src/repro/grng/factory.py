@@ -10,10 +10,10 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.grng.base import Grng, NumpyGrng
+from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.box_muller import BoxMullerGrng
 from repro.grng.cdf_inversion import CdfInversionGrng
 from repro.grng.clt import BinomialLfsrGrng, CentralLimitGrng
-from repro.grng.bnnwallace import BnnWallaceGrng, WallaceNssGrng
 from repro.grng.lut_icdf import LutIcdfGrng
 from repro.grng.rlf import ParallelRlfGrng, RlfGrng
 from repro.grng.stream import GrngStream

@@ -23,8 +23,8 @@ from repro.hw.accelerator import InferenceResult, VibnnAccelerator
 from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import LayerSchedule, NetworkSchedule, schedule_network
 from repro.hw.design_space import DesignPoint, explore_design_space
-from repro.hw.memory import DoubleBufferedMemory, DualPortRam, Rom, WeightParameterMemory
 from repro.hw.faults import FaultyBnnWallaceGrng, FaultyRlfGrng, StuckAtFault, random_seu_faults
+from repro.hw.memory import DoubleBufferedMemory, DualPortRam, Rom, WeightParameterMemory
 from repro.hw.pe import PeSet, ProcessingElement
 from repro.hw.pipeline import PipelineReport, simulate_layer_pipeline
 from repro.hw.resources import (

@@ -96,6 +96,14 @@ class BenchRecorder:
             raise ConfigurationError(
                 f"direction must be 'higher' or 'lower', got {direction!r}"
             )
+        if comparable and not unit:
+            # Comparable metrics are the cross-machine contract; without a
+            # unit a baseline diff cannot say what moved ("0.996 what?"),
+            # so the gap is rejected at record time, not at compare time.
+            raise ConfigurationError(
+                f"comparable metric {name!r} must declare a unit "
+                "(use 'bool' for bit-exactness flags, 'frac' for fractions)"
+            )
         entry: dict[str, object] = {
             "value": float(value),
             "unit": unit,
@@ -137,6 +145,22 @@ def load_result(path) -> dict:
         )
     if "bench" not in data or not isinstance(data.get("metrics"), dict):
         raise ConfigurationError(f"{path}: malformed result document")
+    for name, entry in data["metrics"].items():
+        if not isinstance(entry, dict) or "value" not in entry:
+            raise ConfigurationError(f"{path}: metric {name!r} has no value")
+        if entry.get("comparable", False):
+            # Mirror the record-time contract for documents written by
+            # other tools or older runs: a comparable metric without unit
+            # and direction cannot be diffed meaningfully.
+            if not entry.get("unit"):
+                raise ConfigurationError(
+                    f"{path}: comparable metric {name!r} lacks a unit"
+                )
+            if entry.get("direction") not in ("higher", "lower"):
+                raise ConfigurationError(
+                    f"{path}: comparable metric {name!r} has direction "
+                    f"{entry.get('direction')!r} (expected 'higher' or 'lower')"
+                )
     return data
 
 

@@ -63,8 +63,12 @@ class PredictionCache:
 
     def hit_rate(self) -> float:
         """Hits / lookups (0.0 before any lookup)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        # Snapshot both counters under the lock so a concurrent lookup
+        # cannot make the ratio mix a new hit with a stale total.
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> np.ndarray | None:

@@ -30,3 +30,16 @@ def derive_seed(base_seed: int, *labels: object) -> int:
 def spawn_generator(base_seed: int, *labels: object) -> np.random.Generator:
     """NumPy generator seeded from :func:`derive_seed`."""
     return np.random.default_rng(derive_seed(base_seed, *labels))
+
+
+def generator_from_seed(seed: int) -> np.random.Generator:
+    """NumPy generator over the *raw* ``seed`` — no label derivation.
+
+    The audited alternative to constructing ``np.random.default_rng(seed)``
+    inline: bit-for-bit the same stream, but every construction site flows
+    through this module, which is the one place reprolint's RL001
+    seed-discipline rule whitelists.  Use :func:`spawn_generator` when a
+    component needs *several* decorrelated streams; use this when existing
+    outputs are pinned to the raw seed and must stay bit-for-bit stable.
+    """
+    return np.random.default_rng(int(seed))

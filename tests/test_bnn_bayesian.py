@@ -7,7 +7,6 @@ correctness core of the training stack.
 import numpy as np
 import pytest
 
-from repro.bnn.activations import softplus
 from repro.bnn.bayesian import BayesianDenseLayer, BayesianNetwork
 from repro.bnn.losses import cross_entropy_loss
 from repro.bnn.priors import GaussianPrior, ScaleMixturePrior

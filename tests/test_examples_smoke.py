@@ -7,9 +7,7 @@ two fast ones so a broken public API surfaces in the unit suite.
 
 import pathlib
 import runpy
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -20,7 +20,6 @@ from repro.errors import ConfigurationError, MemoryPortConflictError
 from repro.grng.rlf import (
     DOUBLE_STEP_OPS,
     RLF_INJECT_TAPS,
-    RLF_WIDTH,
     ParallelRlfGrng,
     RamTrace,
     RlfGrng,

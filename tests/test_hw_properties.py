@@ -6,11 +6,9 @@ monotonicity, and weight-generator output bounds.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ConfigurationError
 from repro.hw.config import ArchitectureConfig
 from repro.hw.controller import schedule_network
 from repro.hw.resources import full_design_resources, grng_resources, system_power_mw

@@ -7,7 +7,6 @@ accounting — asserting the accuracy relationships the paper's evaluation
 rests on.
 """
 
-import numpy as np
 import pytest
 
 from repro.bnn import Adam, MonteCarloPredictor, Trainer, accuracy

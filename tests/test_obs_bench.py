@@ -27,7 +27,7 @@ class TestRecorder:
         recorder = BenchRecorder("bench_x", mode="quick", config={"n": 4})
         recorder.record("speedup", 7.5, unit="x")
         recorder.record(
-            "bit_exact", 1.0, comparable=True, tolerance=0.0
+            "bit_exact", 1.0, unit="bool", comparable=True, tolerance=0.0
         )
         path = recorder.write(tmp_path / "results")
         assert path.name == "bench_x.json"
@@ -49,6 +49,15 @@ class TestRecorder:
         with pytest.raises(ConfigurationError):
             recorder.record("m", 1.0, direction="sideways")
 
+    def test_comparable_metric_requires_a_unit(self):
+        recorder = BenchRecorder("b")
+        with pytest.raises(ConfigurationError, match="must declare a unit"):
+            recorder.record("bit_exact", 1.0, comparable=True)
+        # Non-comparable (machine-local timing) metrics may stay unitless.
+        recorder.record("wallclock", 1.0)
+        # And the same value is fine once the unit is stated.
+        recorder.record("bit_exact", 1.0, unit="bool", comparable=True)
+
     def test_load_result_round_trip_and_schema_check(self, tmp_path):
         recorder = BenchRecorder("b")
         recorder.record("m", 2.0)
@@ -62,6 +71,34 @@ class TestRecorder:
         malformed.write_text(json.dumps({"schema": SCHEMA_VERSION}))
         with pytest.raises(ConfigurationError):
             load_result(malformed)
+
+    def test_load_result_rejects_underdeclared_comparable_metrics(self, tmp_path):
+        def doc(entry):
+            return {"schema": SCHEMA_VERSION, "bench": "b", "metrics": {"m": entry}}
+
+        missing_unit = tmp_path / "no_unit.json"
+        missing_unit.write_text(
+            json.dumps(doc({"value": 1.0, "direction": "higher", "comparable": True}))
+        )
+        with pytest.raises(ConfigurationError, match="lacks a unit"):
+            load_result(missing_unit)
+
+        bad_direction = tmp_path / "bad_dir.json"
+        bad_direction.write_text(
+            json.dumps(doc({"value": 1.0, "unit": "bool", "comparable": True}))
+        )
+        with pytest.raises(ConfigurationError, match="direction"):
+            load_result(bad_direction)
+
+        no_value = tmp_path / "no_value.json"
+        no_value.write_text(json.dumps(doc({"unit": "x"})))
+        with pytest.raises(ConfigurationError, match="no value"):
+            load_result(no_value)
+
+        # Non-comparable entries keep the old, looser contract.
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps(doc({"value": 1.0})))
+        assert load_result(loose)["metrics"]["m"]["value"] == 1.0
 
 
 class TestComparator:
@@ -141,7 +178,7 @@ class TestCompareResultsCli:
         baseline_dir = tmp_path / "baseline"
         results_dir = tmp_path / "results"
         recorder = BenchRecorder("bench_a")
-        recorder.record("gate", 1.0, comparable=True)
+        recorder.record("gate", 1.0, unit="bool", comparable=True)
         recorder.write(baseline_dir)
         recorder.write(results_dir)
 
@@ -152,7 +189,7 @@ class TestCompareResultsCli:
         assert "ok   bench_a" in capsys.readouterr().out
 
         regressed = BenchRecorder("bench_a")
-        regressed.record("gate", 0.0, comparable=True)
+        regressed.record("gate", 0.0, unit="bool", comparable=True)
         regressed.write(results_dir)
         assert mod.main(
             ["--baseline", str(baseline_dir), "--results", str(results_dir),

@@ -1,6 +1,5 @@
 """Unit tests for repro.rng.lfsr and repro.rng.taps."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

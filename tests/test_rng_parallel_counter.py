@@ -1,6 +1,5 @@
 """Unit tests for repro.rng.parallel_counter."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
