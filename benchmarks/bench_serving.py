@@ -35,6 +35,18 @@ with three gates:
 * adaptive effective throughput must be **>= 3x** the fixed path
   (full mode only; CI machines are too noisy for absolute ratios).
 
+``--chaos`` runs the **resilience section instead**: the chaos/overload
+acceptance gates of :mod:`repro.serving.resilience` (all enforced even
+with ``--quick``):
+
+* an attached-but-unpressured resilience layer must be bit-for-bit inert;
+* under a seeded fault plan (worker kill + stall) zero requests may hang —
+  every ticket resolves with a result or a typed error;
+* at 2x measured capacity, interactive p99 <= 3x the uncontended p99 and
+  goodput >= 60% of uncontended capacity;
+* the overload ladder's floor (``min_passes`` of the same shared
+  weight-stack ensemble) costs <= 0.5% digits top-1 accuracy.
+
 4. **Observability overhead + coverage gates** (both enforced even with
    ``--quick``) — the obs subsystem's own acceptance criteria:
 
@@ -51,7 +63,7 @@ Results are additionally written as structured JSON to
 ``benchmarks/compare_results.py`` diffs them against a committed
 baseline (the perf-regression wall).
 
-Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--adaptive]
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--adaptive | --chaos]
 
 ``--quick`` shrinks the workload for CI smoke runs and skips the absolute
 speedup gates (CI machines are noisy); the equivalence, accuracy-delta,
@@ -76,6 +88,9 @@ from repro.grng import GrngStream, make_grng
 from repro.obs import BenchRecorder
 from repro.serving import (
     BnnService,
+    FaultEvent,
+    FaultPlan,
+    ResilienceConfig,
     ServiceConfig,
     run_closed_loop,
     run_open_loop,
@@ -94,10 +109,13 @@ def make_service(
     n_samples: int,
     adaptive: AdaptiveConfig | None = None,
     share_weight_stacks: bool = False,
+    fault_plan: FaultPlan | None = None,
     **config,
 ) -> BnnService:
     """Service over ``network`` with caching off (measure compute, not hits)."""
-    service = BnnService(config=ServiceConfig(cache_capacity=0, **config))
+    service = BnnService(
+        config=ServiceConfig(cache_capacity=0, **config), fault_plan=fault_plan
+    )
     service.register_network(
         MODEL,
         network,
@@ -458,6 +476,277 @@ def bench_adaptive(quick: bool, recorder: BenchRecorder) -> int:
     return 1 if failed else 0
 
 
+def bench_chaos(quick: bool, recorder: BenchRecorder) -> int:
+    """Chaos + overload section: the resilience layer's acceptance gates.
+
+    Four gates, all enforced even with ``--quick``:
+
+    1. *off == off* — a service with ``resilience=ResilienceConfig()`` but
+       no pressure must serve bit-for-bit what the resilience-free service
+       serves (the layer is observation-only until the ladder engages);
+    2. *no hangs* — under a fault plan that kills one worker and stalls
+       the other, every offered request resolves (completed, failed with a
+       typed error, or shed) within the collection timeout: ``hung == 0``;
+    3. *overload* — at 2x measured capacity with a mixed SLO population,
+       interactive p99 stays <= 3x the uncontended p99 and goodput stays
+       >= 60% of uncontended capacity (deadline eviction + admission
+       control keep the server working on live requests only);
+    4. *degraded accuracy* — serving ``min_passes`` of the *same* shared
+       weight-stack ensemble (overload ladder floor, forced) moves digits
+       top-1 accuracy by <= 0.5%.
+    """
+    from repro.bnn.optimizers import Adam
+    from repro.experiments.training import make_bnn
+
+    n_samples = 8 if quick else 16
+    n_images = 64 if quick else 256
+    total = 192 if quick else 512
+    duration = 1.0 if quick else 3.0
+    _, _, images, _ = load_digits_split(n_train=10, n_test=n_images, seed=SEED)
+    network = BayesianNetwork((784, 100, 10), seed=SEED)
+    failed = False
+
+    # Gate 1: resilience attached but unpressured is bit-for-bit inert.
+    with make_service(network, n_samples, workers=0, max_batch=64) as service:
+        off_probs = service.predict_many(MODEL, images)
+    with make_service(
+        network, n_samples, workers=0, max_batch=64, resilience=ResilienceConfig()
+    ) as service:
+        on_probs = service.predict_many(MODEL, images)
+        inert = service.metrics.degraded_rows == 0 and service.metrics.shed == 0
+    bit_exact = (
+        inert
+        and off_probs.shape == on_probs.shape
+        and bool((off_probs == on_probs).all())
+    )
+    print(
+        "== Chaos gate 1 — resilience off vs unpressured: "
+        + ("bit-for-bit identical" if bit_exact else "MISMATCH")
+    )
+    print()
+
+    # Gate 2: kill one worker's first batch, stall the other's first batch
+    # past the batch timeout.  Both slots must fail over (typed
+    # WorkerCrashed, supervised restart) and no ticket may hang.
+    plan = FaultPlan(
+        events=(
+            FaultEvent(worker=0, at_batch=1, action="kill"),
+            FaultEvent(worker=1, at_batch=1, action="stall", seconds=1.0),
+            FaultEvent(worker=0, at_batch=4, action="kill"),
+        )
+    )
+    chaos_config = ResilienceConfig(heartbeat_interval_s=0.02, batch_timeout_s=0.25)
+    with make_service(
+        network,
+        n_samples,
+        workers=2,
+        max_batch=8,
+        max_wait_ms=1.0,
+        resilience=chaos_config,
+        fault_plan=plan,
+    ) as service:
+        fault_stats = run_closed_loop(
+            service, MODEL, images, total_requests=total, result_timeout_s=15.0
+        )
+        restarts = service.metrics.worker_restarts
+    accounted = (
+        fault_stats.completed + fault_stats.failed + fault_stats.shed + fault_stats.hung
+    )
+    no_hang = fault_stats.hung == 0 and accounted == fault_stats.offered
+    print(
+        f"== Chaos gate 2 — fault plan (kill w0@1, stall w1@1, kill w0@4), "
+        f"{total} requests:"
+    )
+    print(
+        f"completed {fault_stats.completed}, failed {fault_stats.failed} (typed), "
+        f"shed {fault_stats.shed}, hung {fault_stats.hung} (gate == 0), "
+        f"restarts {restarts}"
+    )
+    print()
+
+    # Gate 3: 2x overload.  Measure capacity and uncontended p99 first,
+    # then offer 2x with a mixed SLO population and an interactive
+    # deadline derived from the uncontended p99.
+    with make_service(
+        network,
+        n_samples,
+        workers=2,
+        max_batch=64,
+        max_wait_ms=2.0,
+        resilience=ResilienceConfig(),
+    ) as service:
+        cap_stats = run_closed_loop(service, MODEL, images, total_requests=total)
+    capacity = cap_stats.throughput_rps
+    with make_service(
+        network,
+        n_samples,
+        workers=2,
+        max_batch=64,
+        max_wait_ms=2.0,
+        resilience=ResilienceConfig(),
+    ) as service:
+        base_stats = run_open_loop(
+            service,
+            MODEL,
+            images,
+            rate_rps=max(capacity * 0.5, 1.0),
+            duration_s=duration,
+            seed=SEED,
+        )
+    base_p99 = base_stats.latency_percentiles()["p99"]
+    deadline = 2.0 * base_p99
+    overload_config = ResilienceConfig(
+        interactive_deadline_s=deadline,
+        batch_deadline_s=4.0 * deadline,
+        best_effort_deadline_s=deadline,
+        degrade_half_s=deadline / 2.0,
+        degrade_floor_s=deadline,
+        min_passes=max(2, n_samples // 4),
+    )
+    with make_service(
+        network,
+        n_samples,
+        workers=2,
+        max_batch=64,
+        max_wait_ms=2.0,
+        resilience=overload_config,
+    ) as service:
+        over_stats = run_open_loop(
+            service,
+            MODEL,
+            images,
+            rate_rps=max(capacity * 2.0, 2.0),
+            duration_s=duration,
+            seed=SEED,
+            slo_weights={"interactive": 0.6, "batch": 0.2, "best_effort": 0.2},
+        )
+        degraded_rows = service.metrics.degraded_rows
+    over_p99 = over_stats.slo_percentiles("interactive").get("p99", 0.0)
+    p99_ratio = over_p99 / base_p99 if base_p99 > 0 else float("inf")
+    goodput_frac = over_stats.goodput_rps / capacity if capacity > 0 else 0.0
+    print(
+        f"== Chaos gate 3 — overload at 2x capacity ({capacity:,.0f} req/s, "
+        f"interactive deadline {deadline * 1e3:.1f}ms):"
+    )
+    print(
+        f"uncontended p99 {base_p99 * 1e3:.2f}ms, overloaded interactive p99 "
+        f"{over_p99 * 1e3:.2f}ms ({p99_ratio:.2f}x, gate <= 3x)"
+    )
+    print(
+        f"goodput {over_stats.goodput_rps:,.1f} req/s "
+        f"({goodput_frac:.1%} of uncontended, gate >= 60%), "
+        f"shed {over_stats.shed} ({over_stats.shed_rate:.1%}), "
+        f"dropped {over_stats.dropped}, degraded rows {degraded_rows}"
+    )
+    print()
+
+    # Gate 4: the overload ladder's floor (min_passes of the same shared
+    # ensemble) on a *trained* model — the accuracy cost of degrading.
+    n_full = 32 if quick else 64
+    min_passes = 16
+    eval_rows = 256 if quick else 512
+    x_train, y_train, x_test, y_test = load_digits_split(
+        n_train=512 if quick else 800, n_test=eval_rows, seed=SEED
+    )
+    trained = make_bnn((784, 64, 10), seed=SEED)
+    Trainer(
+        trained, Adam(3e-3), batch_size=32, epochs=4 if quick else 8, seed=SEED
+    ).fit(x_train, y_train)
+    fixedn = AdaptiveConfig(chunk=8, exit_delta=None)
+    degrade_config = ResilienceConfig(min_passes=min_passes)
+    with make_service(
+        trained,
+        n_full,
+        adaptive=fixedn,
+        share_weight_stacks=True,
+        workers=0,
+        max_batch=64,
+        resilience=degrade_config,
+    ) as service:
+        full_probs = service.predict_many(MODEL, x_test)
+    with make_service(
+        trained,
+        n_full,
+        adaptive=fixedn,
+        share_weight_stacks=True,
+        workers=0,
+        max_batch=64,
+        resilience=degrade_config,
+    ) as service:
+        assert service.admission is not None
+        service.admission.force_level(2)
+        degraded_probs = service.predict_many(MODEL, x_test)
+        degraded_served = service.metrics.degraded_rows
+    acc_full = float((full_probs.argmax(axis=1) == y_test).mean())
+    acc_degraded = float((degraded_probs.argmax(axis=1) == y_test).mean())
+    acc_delta = abs(acc_full - acc_degraded)
+    print(
+        f"== Chaos gate 4 — degraded floor ({min_passes} of {n_full} passes, "
+        f"matched ensemble, {eval_rows} eval rows):"
+    )
+    print(
+        f"accuracy: full {acc_full:.2%}, degraded {acc_degraded:.2%} "
+        f"(|delta| = {acc_delta:.3%}, budget 0.5%), "
+        f"{degraded_served} rows served degraded"
+    )
+    print()
+
+    # Seeded/deterministic outcomes are machine-independent -> comparable;
+    # wall-clock ratios are recorded but only compared on one machine.
+    recorder.record(
+        "resilience_bit_exact", 1.0 if bit_exact else 0.0, unit="bool", comparable=True
+    )
+    recorder.record(
+        "chaos_no_hang", 1.0 if no_hang else 0.0, unit="bool", comparable=True
+    )
+    recorder.record(
+        "degraded_accuracy_delta",
+        acc_delta,
+        unit="frac",
+        direction="lower",
+        comparable=True,
+        tolerance=0.006,
+    )
+    recorder.record("chaos_worker_restarts", float(restarts), unit="count")
+    recorder.record("overload_p99_ratio", p99_ratio, unit="x", direction="lower")
+    recorder.record(
+        "overload_goodput_frac", goodput_frac, unit="frac", direction="higher"
+    )
+    recorder.record("overload_shed_rate", over_stats.shed_rate, unit="frac")
+
+    if not bit_exact:
+        print("FAIL: unpressured resilience layer perturbed served bits")
+        failed = True
+    if fault_stats.hung:
+        print(f"FAIL: {fault_stats.hung} requests hung under the fault plan")
+        failed = True
+    if accounted != fault_stats.offered:
+        print(
+            f"FAIL: only {accounted} of {fault_stats.offered} offered requests "
+            "accounted for"
+        )
+        failed = True
+    if restarts < 2:
+        print(f"FAIL: expected both faulted workers to restart, saw {restarts}")
+        failed = True
+    if p99_ratio > 3.0:
+        print(f"FAIL: overloaded interactive p99 {p99_ratio:.2f}x exceeds the 3x gate")
+        failed = True
+    if goodput_frac < 0.60:
+        print(f"FAIL: overloaded goodput {goodput_frac:.1%} below the 60% gate")
+        failed = True
+    if degraded_served != eval_rows:
+        print(
+            f"FAIL: forced floor should degrade all {eval_rows} rows, "
+            f"served {degraded_served}"
+        )
+        failed = True
+    if acc_delta > 0.005:
+        print(f"FAIL: degraded accuracy delta {acc_delta:.3%} exceeds the 0.5% budget")
+        failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -470,13 +759,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the adaptive-vs-fixed Monte-Carlo section instead",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the resilience chaos/overload section instead",
+    )
     args = parser.parse_args(argv)
+    if args.adaptive and args.chaos:
+        parser.error("pass at most one of --adaptive / --chaos")
     mode = "quick" if args.quick else "full"
     if args.adaptive:
         recorder = BenchRecorder(
             "bench_serving_adaptive", mode=mode, config={"quick": args.quick}
         )
         code = bench_adaptive(args.quick, recorder)
+        print(f"results written to {recorder.write(RESULTS_DIR)}")
+        return code
+    if args.chaos:
+        recorder = BenchRecorder(
+            "bench_serving_chaos", mode=mode, config={"quick": args.quick}
+        )
+        code = bench_chaos(args.quick, recorder)
         print(f"results written to {recorder.write(RESULTS_DIR)}")
         return code
     n_samples = 5 if args.quick else 20

@@ -206,6 +206,7 @@ def default_rules() -> list[Rule]:
         CountContractRule,
         SeedDisciplineRule,
         TypedErrorRule,
+        WaitTimeoutRule,
     )
 
     return [
@@ -214,6 +215,7 @@ def default_rules() -> list[Rule]:
         CountContractRule(),
         TypedErrorRule(),
         LockDisciplineRule(),
+        WaitTimeoutRule(),
     ]
 
 

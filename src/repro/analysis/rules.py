@@ -321,6 +321,96 @@ class TypedErrorRule(Rule):
         yield from visitor.found
 
 
+# ----------------------------------------------------------------------
+# RL006 — bounded waits in the serving tier
+# ----------------------------------------------------------------------
+#: Blocking-wait methods covered by the no-hang invariant, mapped to the
+#: number of positional arguments that means a timeout was supplied
+#: (``Event.wait(t)`` / ``Condition.wait(t)`` → 1, ``wait_for(pred, t)`` → 2).
+_WAIT_METHODS = {"wait": 1, "wait_for": 2}
+
+#: Scope of the invariant: the serving tier, whose contract is that every
+#: ticket resolves (result or typed error) — an unbounded wait anywhere in
+#: it is a latent hang under a crashed peer.
+SERVING_PREFIX = "src/repro/serving/"
+
+
+class WaitTimeoutRule(Rule):
+    """RL006: every blocking wait in ``serving/`` is bounded.
+
+    The resilience layer promises *no request hangs*: a dead worker, a
+    vanished single-flight builder, or a wedged queue must surface as a
+    typed error, never an indefinite block.  That only holds if no code
+    path in the serving tier parks on ``Event.wait()`` /
+    ``Condition.wait()`` / ``Condition.wait_for()`` without a timeout —
+    bounded waits re-check state each interval and can notice the peer
+    died.  Passing a literal ``None`` timeout is flagged too (it is the
+    unbounded form in disguise); forwarding a variable is accepted, since
+    the bound is then the caller's declared choice.  Intentional
+    exceptions belong in the committed baseline with a written reason.
+    """
+
+    id = "RL006"
+    title = "bounded waits in serving"
+    hint = (
+        "pass a timeout (and loop) so a vanished peer cannot hang this "
+        "wait forever; baseline with a reason if unbounded is intentional"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for source in project.under(SERVING_PREFIX):
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        rule = self
+
+        class Visitor(ScopeTracker):
+            def __init__(self) -> None:
+                super().__init__()
+                self.found: list[Finding] = []
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if _is_unbounded_wait(node):
+                    token = dotted_name(node.func) or node.func.attr
+                    self.found.append(
+                        rule.finding(
+                            source,
+                            node,
+                            f"{token}() blocks without a timeout "
+                            "(serving no-hang invariant)",
+                            scope=self.scope,
+                            token=token,
+                        )
+                    )
+                self.generic_visit(node)
+
+        visitor = Visitor()
+        visitor.visit(source.tree)
+        yield from visitor.found
+
+
+def _is_unbounded_wait(node: ast.Call) -> bool:
+    """Whether ``node`` is an ``x.wait()``-family call with no usable timeout."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _WAIT_METHODS:
+        return False
+    needed = _WAIT_METHODS[func.attr]
+    if any(isinstance(arg, ast.Starred) for arg in node.args):
+        return False  # dynamic spread: assume the timeout rides in it
+    timeout: ast.expr | None = None
+    if len(node.args) >= needed:
+        timeout = node.args[needed - 1]
+    for keyword in node.keywords:
+        if keyword.arg == "timeout":
+            timeout = keyword.value
+        elif keyword.arg is None:  # **kwargs spread: assume it carries one
+            return False
+    if timeout is None:
+        return True
+    # An explicit literal None is the unbounded form in disguise.
+    return isinstance(timeout, ast.Constant) and timeout.value is None
+
+
 def _raised_class_name(node: ast.Raise) -> "str | None":
     """Class name of ``raise X(...)``/``raise X`` when X is a static class
     reference; ``None`` for bare/dynamic re-raises (which are allowed)."""

@@ -64,7 +64,14 @@ from repro.obs import (
     render_prometheus,
     write_metrics_json,
 )
-from repro.serving import BnnService, ServiceConfig, run_closed_loop, run_open_loop
+from repro.serving import (
+    SLO_CLASSES,
+    BnnService,
+    ResilienceConfig,
+    ServiceConfig,
+    run_closed_loop,
+    run_open_loop,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -175,6 +182,10 @@ def _build_demo_service(
         Trainer(network, epochs=args.epochs, seed=args.seed).fit(x_train, y_train)
     model_path = model_dir / "demo-digits.npz"
     save_posterior(model_path, network.posterior_parameters())
+    # --slo / --deadline-ms imply the resilience layer: they are its API.
+    resilience = None
+    if args.resilience or args.slo is not None or args.deadline_ms is not None:
+        resilience = ResilienceConfig(min_passes=args.min_passes)
     service = BnnService(
         config=ServiceConfig(
             max_batch=args.max_batch,
@@ -185,6 +196,7 @@ def _build_demo_service(
             # Tracing is enabled exactly when the spans have somewhere to
             # go; an untraced run pays nothing on the request path.
             trace_capacity=args.trace_capacity if args.trace_out else 0,
+            resilience=resilience,
         )
     )
     adaptive = (
@@ -211,6 +223,13 @@ def _build_demo_service(
         extras.append("shared-stacks")
     if args.variance_reduction != "plain":
         extras.append(args.variance_reduction)
+    if resilience is not None:
+        extras.append(
+            "resilience"
+            + (f"({args.slo}" + (
+                f", {args.deadline_ms:g}ms)" if args.deadline_ms else ")"
+            ) if args.slo else "")
+        )
     print(
         f"serving {args.model_name!r} (784-{args.hidden}-10, N={args.n_samples}, "
         f"grng={args.grng}) from {model_path.name}: "
@@ -261,6 +280,32 @@ def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
         "--share-weight-stacks",
         action="store_true",
         help="serve off one cached sampled weight ensemble shared across requests",
+    )
+    resil = parser.add_argument_group("resilience")
+    resil.add_argument(
+        "--resilience",
+        action="store_true",
+        help="enable the resilience layer (SLO deadlines, admission control, "
+        "degradation, worker supervision — docs/RESILIENCE.md)",
+    )
+    resil.add_argument(
+        "--slo",
+        choices=SLO_CLASSES,
+        default=None,
+        help="SLO class of generated requests (implies --resilience)",
+    )
+    resil.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline in milliseconds (implies --resilience)",
+    )
+    resil.add_argument(
+        "--min-passes",
+        type=int,
+        default=4,
+        help="MC-pass floor of the overload degradation ladder",
     )
     obs = parser.add_argument_group("observability")
     obs.add_argument(
@@ -356,12 +401,18 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return _run_demo_workload(
         args,
         lambda service, images: run_closed_loop(
-            service, args.model_name, images, total_requests=args.requests
+            service,
+            args.model_name,
+            images,
+            total_requests=args.requests,
+            slo=args.slo,
+            deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
         ),
     )
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
     if args.pattern == "closed":
         run = lambda service, images: run_closed_loop(  # noqa: E731
             service,
@@ -369,6 +420,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             images,
             total_requests=args.requests,
             window=args.window,
+            slo=args.slo,
+            deadline_s=deadline_s,
         )
     else:
         run = lambda service, images: run_open_loop(  # noqa: E731
@@ -378,6 +431,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             rate_rps=args.rate,
             duration_s=args.duration,
             seed=args.seed,
+            slo=args.slo,
+            deadline_s=deadline_s,
         )
     return _run_demo_workload(args, run)
 

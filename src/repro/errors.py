@@ -61,3 +61,45 @@ class ServiceOverloaded(ServingError):
     ``queue_capacity`` pending requests, so producers feel load instead of
     the service buffering without bound.
     """
+
+
+class AdmissionShed(ServiceOverloaded):
+    """The admission controller shed this request by SLO class.
+
+    Raised at submit time by a resilience-enabled service when measured
+    queue pressure exceeds the class's shed threshold and the class's
+    token-bucket trickle is exhausted.  A subclass of
+    :class:`ServiceOverloaded` so existing backpressure handlers keep
+    working; catching this type specifically distinguishes "shed by
+    policy" from "queue physically full".
+    """
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline expired before a worker could serve it.
+
+    Delivered to the ticket (and every coalesced follower sharing it) when
+    the batcher evicts an expired request at pop time or a worker sheds it
+    at execution time — the request is never silently dropped.
+    """
+
+
+class WorkerCrashed(ServingError):
+    """A serving worker died or stalled while holding this request's batch.
+
+    The supervisor fails the batch's tickets with this typed error instead
+    of letting them hang, then restarts the worker slot on a fresh
+    decorrelated stream (see ``docs/RESILIENCE.md``).
+    """
+
+
+class InjectedWorkerKill(BaseException):
+    """Chaos-injected worker death, scripted by a serving ``FaultPlan``.
+
+    The one deliberate exception to the ``ReproError`` hierarchy (like
+    ``NotImplementedError``): the per-batch fault barrier in the serving
+    workers catches ``Exception`` so predictor faults fail tickets without
+    killing the thread — an injected *kill* must punch through that
+    barrier and terminate the worker, leaving its batch for the supervisor
+    to fail over (exactly the failure mode being rehearsed).
+    """

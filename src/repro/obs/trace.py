@@ -50,10 +50,13 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 #: Canonical serving phases, in request-lifecycle order (report order).
+#: ``shed`` covers the queue residency of a request evicted past its
+#: deadline (resilience layer) — such spans have no compute phases.
 SERVING_PHASES = (
     "cache_lookup",
     "batch_fill",
     "queue_wait",
+    "shed",
     "stack_build",
     "inference",
     "respond",

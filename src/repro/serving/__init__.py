@@ -18,6 +18,7 @@ Modules
 ``metrics``      latency percentiles, batch histogram, queue/cache gauges
 ``service``      the :class:`BnnService` façade (``submit`` / ``predict_many``)
 ``loadgen``      open- and closed-loop load-test harness
+``resilience``   SLO classes, admission control, overload ladder, chaos plans
 
 Models can additionally opt into the **adaptive Monte-Carlo** path
 (:mod:`repro.bnn.adaptive`): per-model ``adaptive=AdaptiveConfig(...)``
@@ -46,13 +47,26 @@ from repro.serving.registry import (
     network_from_posterior,
     worker_stream_seed,
 )
+from repro.serving.resilience import (
+    SLO_CLASSES,
+    AdmissionController,
+    FaultEvent,
+    FaultPlan,
+    InjectedWorkerKill,
+    ResilienceConfig,
+    chunk_seam,
+)
 from repro.serving.service import BnnService, ServiceConfig
 from repro.serving.weight_stack import WeightStackCache
 from repro.serving.workers import ServingWorker, WorkerPool
 
 __all__ = [
+    "AdmissionController",
     "Batch",
     "BnnService",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedWorkerKill",
     "LoadStats",
     "MicroBatcher",
     "ModelEntry",
@@ -60,12 +74,15 @@ __all__ = [
     "PredictionCache",
     "PredictionTicket",
     "QuantizedSharedStackPredictor",
+    "ResilienceConfig",
+    "SLO_CLASSES",
     "ServiceConfig",
     "ServiceMetrics",
     "ServingWorker",
     "SharedStackPredictor",
     "WeightStackCache",
     "WorkerPool",
+    "chunk_seam",
     "input_digest",
     "network_from_posterior",
     "run_closed_loop",

@@ -47,16 +47,26 @@ class PredictionTicket:
 
     __slots__ = (
         "model", "created_at", "completed_at", "trace",
+        "slo", "deadline", "degraded", "stale",
         "_event", "_value", "_error",
     )
 
-    def __init__(self, model: str) -> None:
+    def __init__(self, model: str, slo: str = "interactive") -> None:
         self.model = model
         self.created_at = time.perf_counter()
         self.completed_at: float | None = None
         #: Optional :class:`~repro.obs.trace.RequestSpan` attached by a
         #: tracing-enabled service; ``None`` when tracing is off.
         self.trace = None
+        #: SLO class (:data:`~repro.serving.resilience.SLO_CLASSES`).
+        self.slo = slo
+        #: Absolute perf_counter deadline, or ``None`` (no eviction).
+        self.deadline: float | None = None
+        #: MC passes actually served when the overload ladder reduced
+        #: them; ``None`` for a full-``N`` result.
+        self.degraded: int | None = None
+        #: True when resolved from a version-stale cache row.
+        self.stale = False
         self._event = threading.Event()
         self._value: np.ndarray | None = None
         self._error: BaseException | None = None
@@ -65,15 +75,32 @@ class PredictionTicket:
         """Whether a result or error has been delivered."""
         return self._event.is_set()
 
-    def set_result(self, value: np.ndarray) -> None:
+    def set_result(self, value: np.ndarray) -> bool:
+        """Deliver a result; first delivery wins.
+
+        Returns ``False`` without touching the ticket when it already
+        resolved — the exactly-once guarantee coalesced followers rely
+        on when eviction, supervision, and a worker race to resolve the
+        shared ticket.  (The unlocked check-then-set leaves a benign
+        race: two simultaneous racers may both write, but the event only
+        transitions once and ``result`` prefers the error, so waiters
+        still observe a single coherent outcome.)
+        """
+        if self._event.is_set():
+            return False
         self._value = value
         self.completed_at = time.perf_counter()
         self._event.set()
+        return True
 
-    def set_exception(self, error: BaseException) -> None:
+    def set_exception(self, error: BaseException) -> bool:
+        """Deliver a failure; first delivery wins (see :meth:`set_result`)."""
+        if self._event.is_set():
+            return False
         self._error = error
         self.completed_at = time.perf_counter()
         self._event.set()
+        return True
 
     def latency(self) -> float:
         """Seconds from submit to completion (requires :meth:`done`)."""
@@ -110,7 +137,7 @@ class _Request:
 class Batch:
     """One model's worth of coalesced requests, ready for a single MC call."""
 
-    __slots__ = ("model", "rows", "tickets", "popped_at")
+    __slots__ = ("model", "rows", "tickets", "popped_at", "expired", "cancelled")
 
     def __init__(self, model: str, rows: list[np.ndarray], tickets: list[PredictionTicket]) -> None:
         self.model = model
@@ -119,6 +146,13 @@ class Batch:
         #: ``perf_counter`` stamp of the pop — the end of queue residency
         #: for every request in the batch (tracing's queue_wait anchor).
         self.popped_at = time.perf_counter()
+        #: Tickets whose deadline expired in the queue; the executing
+        #: worker fails them with ``DeadlineExceeded`` (shed, not served).
+        self.expired: list[PredictionTicket] = []
+        #: Set by the supervisor when it declares the executing worker
+        #: dead/stalled; a late (zombie) worker must not resolve tickets
+        #: or fill the cache past this point.
+        self.cancelled = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -210,28 +244,54 @@ class MicroBatcher:
         spliced back in front of the untouched tail — so a pop is
         O(batch + skipped), not O(queue), and never holds the lock for a
         full-queue rebuild under multi-model load.
+
+        Deadline eviction happens here, at the queue boundary: requests
+        whose ticket deadline already passed are split into the batch's
+        ``expired`` list (the executing worker fails them with
+        ``DeadlineExceeded`` — they still consumed a queue slot, but no
+        inference).  Tickets that resolved while queued (failed by a
+        racing path) are dropped silently; a pop that yields neither live
+        nor expired requests retries on the remaining queue.
         """
-        if not self._queue:
-            return None
-        model = self._queue[0].ticket.model
-        available = min(self._counts[model], self.max_batch)
-        taken: list[_Request] = []
-        skipped: list[_Request] = []
-        while len(taken) < available:
-            request = self._queue.popleft()
-            if request.ticket.model == model:
-                taken.append(request)
+        while self._queue:
+            model = self._queue[0].ticket.model
+            available = min(self._counts[model], self.max_batch)
+            taken: list[_Request] = []
+            skipped: list[_Request] = []
+            while len(taken) < available:
+                request = self._queue.popleft()
+                if request.ticket.model == model:
+                    taken.append(request)
+                else:
+                    skipped.append(request)
+            self._queue.extendleft(reversed(skipped))
+            remaining = self._counts[model] - len(taken)
+            if remaining:
+                self._counts[model] = remaining
             else:
-                skipped.append(request)
-        self._queue.extendleft(reversed(skipped))
-        remaining = self._counts[model] - len(taken)
-        if remaining:
-            self._counts[model] = remaining
-        else:
-            del self._counts[model]
-        if remaining < self.max_batch:
-            self._full.discard(model)
-        return Batch(model, [r.row for r in taken], [r.ticket for r in taken])
+                del self._counts[model]
+            if remaining < self.max_batch:
+                self._full.discard(model)
+            live: list[_Request] = []
+            expired: list[PredictionTicket] = []
+            now: float | None = None
+            for request in taken:
+                ticket = request.ticket
+                if ticket.done():
+                    continue
+                if ticket.deadline is not None:
+                    if now is None:
+                        now = time.perf_counter()
+                    if now > ticket.deadline:
+                        expired.append(ticket)
+                        continue
+                live.append(request)
+            if not live and not expired:
+                continue  # everything popped had already resolved; retry
+            batch = Batch(model, [r.row for r in live], [r.ticket for r in live])
+            batch.expired = expired
+            return batch
+        return None
 
     def full_batch_ready(self) -> bool:
         """Whether *any* model has ``max_batch`` rows pending.

@@ -29,9 +29,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ServiceOverloaded
+from repro.errors import (
+    AdmissionShed,
+    ConfigurationError,
+    DeadlineExceeded,
+    ServiceOverloaded,
+)
 from repro.serving.batcher import PredictionTicket
 from repro.serving.metrics import format_latency, percentile_dict
+from repro.serving.resilience import SLO_CLASSES, FaultPlan
 from repro.serving.service import BnnService
 from repro.utils.seeding import spawn_generator
 from repro.utils.validation import check_positive
@@ -52,6 +58,13 @@ class LoadStats:
     #: Closed-loop rejections that were retried (and eventually completed).
     retried: int = 0
     failed: int = 0
+    #: Requests shed by the resilience layer (admission control at submit,
+    #: deadline eviction in queue).  Their own bucket — policy losses, not
+    #: service faults — and excluded from the latency samples.
+    shed: int = 0
+    #: Tickets that never resolved within the collection timeout.  The
+    #: no-hang invariant requires this to be 0 in every chaos run.
+    hung: int = 0
     #: Total wall clock of the run (arrival window + drain for open loop).
     duration_s: float = 0.0
     #: Open loop only: the arrival window alone — the interval during
@@ -64,6 +77,9 @@ class LoadStats:
     #: timebase), index-aligned with ``latencies_s`` — the raw samples
     #: behind :meth:`export_samples`.
     submit_ts: list[float] = field(default_factory=list, repr=False)
+    #: Completed-request latencies grouped by SLO class (resilience runs
+    #: only; empty otherwise).
+    latencies_by_slo: dict[str, list[float]] = field(default_factory=dict, repr=False)
 
     @property
     def throughput_rps(self) -> float:
@@ -86,11 +102,32 @@ class LoadStats:
     def latency_max(self) -> float:
         return float(np.max(self.latencies_s)) if self.latencies_s else 0.0
 
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed by policy (0.0 when none)."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed-within-policy requests per second (= throughput here:
+        shed and failed rows never reach ``completed``)."""
+        return self.throughput_rps
+
+    def slo_percentiles(self, slo: str) -> dict[str, float]:
+        """Latency percentiles of one SLO class's completions only."""
+        return percentile_dict(self.latencies_by_slo.get(slo, []))
+
     def summary(self) -> dict[str, float]:
-        """Percentiles plus mean/max — one dict for reports and recorders."""
+        """Percentiles plus mean/max — one dict for reports and recorders.
+
+        Shed requests are *excluded* from every latency number (they were
+        refused, not served slowly) and surfaced as ``shed_rate`` instead.
+        """
         out = self.latency_percentiles()
         out["mean"] = self.latency_mean()
         out["max"] = self.latency_max()
+        if self.shed or self.hung:
+            out["shed_rate"] = self.shed_rate
         return out
 
     def export_samples(self, path) -> pathlib.Path:
@@ -117,32 +154,49 @@ class LoadStats:
             )
         else:
             duration_line = f"duration     : {self.duration_s:.3f}s"
-        return "\n".join(
-            [
-                f"pattern      : {self.pattern}",
-                f"offered      : {self.offered} requests"
-                + (f" ({self.dropped} dropped by backpressure)" if self.dropped else "")
-                + (f" ({self.retried} backpressure retries)" if self.retried else ""),
-                f"completed    : {self.completed} ({self.failed} failed)",
-                duration_line,
-                f"throughput   : {self.throughput_rps:,.1f} req/s",
-                f"latency      : {format_latency(self.latency_percentiles())}  "
-                f"mean={self.latency_mean() * 1e3:.2f}ms  "
-                f"max={self.latency_max() * 1e3:.2f}ms",
-            ]
-        )
+        lines = [
+            f"pattern      : {self.pattern}",
+            f"offered      : {self.offered} requests"
+            + (f" ({self.dropped} dropped by backpressure)" if self.dropped else "")
+            + (f" ({self.retried} backpressure retries)" if self.retried else ""),
+            f"completed    : {self.completed} ({self.failed} failed)",
+            duration_line,
+            f"throughput   : {self.throughput_rps:,.1f} req/s",
+            f"latency      : {format_latency(self.latency_percentiles())}  "
+            f"mean={self.latency_mean() * 1e3:.2f}ms  "
+            f"max={self.latency_max() * 1e3:.2f}ms",
+        ]
+        if self.shed or self.hung:
+            lines.append(
+                f"resilience   : {self.shed} shed "
+                f"({self.shed_rate * 100.0:.1f}% of offered), {self.hung} hung"
+            )
+        if len(self.latencies_by_slo) > 1:
+            for slo in SLO_CLASSES:
+                if self.latencies_by_slo.get(slo):
+                    lines.append(
+                        f"  {slo:<11}: {len(self.latencies_by_slo[slo])} completed  "
+                        f"{format_latency(self.slo_percentiles(slo))}"
+                    )
+        return "\n".join(lines)
 
 
 def _collect(stats: LoadStats, tickets: list[PredictionTicket], timeout: float) -> None:
     for ticket in tickets:
         try:
             ticket.result(timeout)
+        except (DeadlineExceeded, AdmissionShed):
+            stats.shed += 1  # policy loss, not a service fault
         except Exception:  # noqa: BLE001 - a load test tallies failures
-            stats.failed += 1
+            if ticket.done():
+                stats.failed += 1
+            else:
+                stats.hung += 1  # result() timed out with no resolution at all
         else:
             stats.completed += 1
             stats.latencies_s.append(ticket.latency())
             stats.submit_ts.append(ticket.created_at)
+            stats.latencies_by_slo.setdefault(ticket.slo, []).append(ticket.latency())
 
 
 def run_closed_loop(
@@ -152,6 +206,9 @@ def run_closed_loop(
     *,
     total_requests: int,
     window: int | None = None,
+    slo: str | None = None,
+    deadline_s: float | None = None,
+    result_timeout_s: float = _RESULT_TIMEOUT_S,
 ) -> LoadStats:
     """Issue ``total_requests`` in back-to-back windows; measure capacity.
 
@@ -159,7 +216,10 @@ def run_closed_loop(
     onto one full micro-batch.  Requests cycle through ``images``.
     Transient :class:`~repro.errors.ServiceOverloaded` rejections are
     retried after a short backoff (a closed-loop client waits, it does not
-    drop).
+    drop) — but an :class:`~repro.errors.AdmissionShed` is final: the
+    policy refused this class under pressure, so the request lands in the
+    ``shed`` bucket instead of a retry storm that would defeat the
+    controller.
     """
     check_positive("total_requests", total_requests)
     images = np.asarray(images, dtype=np.float64)
@@ -180,13 +240,18 @@ def run_closed_loop(
             row = images[(sent + offset) % images.shape[0]]
             while True:
                 try:
-                    tickets.append(service.submit(model, row))
+                    tickets.append(
+                        service.submit(model, row, slo=slo, deadline_s=deadline_s)
+                    )
+                    break
+                except AdmissionShed:
+                    stats.shed += 1  # shed by policy: lost, not retried
                     break
                 except ServiceOverloaded:
                     stats.retried += 1  # the request is retried, not lost
                     time.sleep(0.001)
         service.flush()
-        _collect(stats, tickets, _RESULT_TIMEOUT_S)
+        _collect(stats, tickets, result_timeout_s)
         sent += take
     stats.duration_s = time.perf_counter() - start
     return stats
@@ -200,14 +265,26 @@ def run_open_loop(
     rate_rps: float,
     duration_s: float,
     seed: int = 0,
+    slo: str | None = None,
+    deadline_s: float | None = None,
+    slo_weights: "dict[str, float] | None" = None,
+    fault_plan: FaultPlan | None = None,
+    result_timeout_s: float = _RESULT_TIMEOUT_S,
 ) -> LoadStats:
     """Poisson arrivals at ``rate_rps`` for ``duration_s``; measure latency.
 
     Requests that hit a full queue are dropped (counted, not retried) —
     open-loop clients model independent users, whose arrivals do not slow
-    down because the service is busy.  Meaningful latency numbers need a
-    service with ``workers >= 1``; in synchronous mode only full batches
-    dispatch during the run and the remainder drains at the end.
+    down because the service is busy.  Admission-control sheds land in
+    their own ``shed`` bucket.  Meaningful latency numbers need a service
+    with ``workers >= 1``; in synchronous mode only full batches dispatch
+    during the run and the remainder drains at the end.
+
+    ``slo_weights`` draws each request's SLO class from a weighted
+    distribution (seeded — replayable); it is mutually exclusive with a
+    fixed ``slo``.  A ``fault_plan`` with burst windows multiplies the
+    arrival rate inside each window (burst overload) without perturbing
+    the underlying exponential draw sequence.
 
     The arrival window (``window_s``) and the post-window flush/drain
     (``drain_s``) are measured separately; ``throughput_rps`` divides by
@@ -220,6 +297,20 @@ def run_open_loop(
         raise ConfigurationError(
             f"images must be a non-empty (count, features) array, got {images.shape}"
         )
+    if slo_weights is not None:
+        if slo is not None:
+            raise ConfigurationError("pass either slo or slo_weights, not both")
+        unknown = set(slo_weights) - set(SLO_CLASSES)
+        if unknown or not slo_weights:
+            raise ConfigurationError(
+                f"slo_weights must be a non-empty map over {SLO_CLASSES}, "
+                f"got {sorted(slo_weights)}"
+            )
+        classes = [c for c in SLO_CLASSES if c in slo_weights]
+        weights = np.asarray([slo_weights[c] for c in classes], dtype=np.float64)
+        if weights.sum() <= 0 or (weights < 0).any():
+            raise ConfigurationError("slo_weights must be non-negative, sum > 0")
+        weights = weights / weights.sum()
     rng = spawn_generator(seed, "loadgen-open")
     stats = LoadStats(pattern=f"open-loop @ {rate_rps:g} req/s", offered=0, completed=0)
     tickets: list[PredictionTicket] = []
@@ -227,15 +318,33 @@ def run_open_loop(
     next_arrival = start
     index = 0
     while True:
-        next_arrival += rng.exponential(1.0 / rate_rps)
+        gap = rng.exponential(1.0 / rate_rps)
+        if fault_plan is not None:
+            # Scale the gap, not the rate inside the draw: the exponential
+            # sequence is identical with or without bursts, so a chaos run
+            # replays the same arrival skeleton as its calm twin.
+            gap /= fault_plan.rate_multiplier(next_arrival - start)
+        next_arrival += gap
         now = time.perf_counter()
         if next_arrival - start > duration_s:
             break
         if next_arrival > now:
             time.sleep(next_arrival - now)
+        request_slo = slo
+        if slo_weights is not None:
+            request_slo = classes[int(rng.choice(len(classes), p=weights))]
         stats.offered += 1
         try:
-            tickets.append(service.submit(model, images[index % images.shape[0]]))
+            tickets.append(
+                service.submit(
+                    model,
+                    images[index % images.shape[0]],
+                    slo=request_slo,
+                    deadline_s=deadline_s,
+                )
+            )
+        except AdmissionShed:
+            stats.shed += 1
         except ServiceOverloaded:
             stats.dropped += 1
         index += 1
@@ -244,7 +353,7 @@ def run_open_loop(
     # divides by the window) is not understated by the drain tail.
     stats.window_s = time.perf_counter() - start
     service.flush()
-    _collect(stats, tickets, _RESULT_TIMEOUT_S)
+    _collect(stats, tickets, result_timeout_s)
     stats.duration_s = time.perf_counter() - start
     stats.drain_s = stats.duration_s - stats.window_s
     return stats

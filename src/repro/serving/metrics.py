@@ -30,6 +30,13 @@ Registry metric names::
     service_request_latency_seconds   request-latency histogram
     service_adaptive_rows_total / _passes_total / _pass_budget_total
     service_stack_cache_total{event}  hit | miss | wait | eviction
+    service_shed_total{slo}           admission-control sheds by class
+    service_deadline_evictions_total{slo}  expired requests evicted
+    service_worker_restarts_total{cause}   supervised restarts (died | stalled)
+    service_stale_serves_total        stale cache rows served under overload
+    service_degraded_rows_total       rows served at reduced MC passes
+    service_pressure_seconds          EWMA queue-wait pressure (gauge)
+    service_degrade_level             overload-ladder position (gauge)
 """
 
 from __future__ import annotations
@@ -142,6 +149,29 @@ class ServiceMetrics:
             "Weight-stack cache events",
             labels=("event",),
         )
+        self._shed_c = r.counter(
+            "service_shed_total",
+            "Requests shed by the admission controller, by SLO class",
+            labels=("slo",),
+        )
+        self._deadline_c = r.counter(
+            "service_deadline_evictions_total",
+            "Requests evicted past their deadline, by SLO class",
+            labels=("slo",),
+        )
+        self._restarts_c = r.counter(
+            "service_worker_restarts_total",
+            "Supervised worker restarts by cause",
+            labels=("cause",),
+        )
+        self._stale_c = r.counter(
+            "service_stale_serves_total",
+            "Version-stale cache rows served under overload",
+        )
+        self._degraded_c = r.counter(
+            "service_degraded_rows_total",
+            "Rows served at reduced MC passes (overload ladder)",
+        )
 
     # ------------------------------------------------------------------
     # Legacy attribute views (the pre-registry public surface)
@@ -181,6 +211,26 @@ class ServiceMetrics:
     @property
     def last_queue_depth(self) -> int:
         return int(self._queue_depth_g.value())
+
+    @property
+    def shed(self) -> int:
+        return int(sum(self._shed_c.series().values()))
+
+    @property
+    def deadline_evictions(self) -> int:
+        return int(sum(self._deadline_c.series().values()))
+
+    @property
+    def worker_restarts(self) -> int:
+        return int(sum(self._restarts_c.series().values()))
+
+    @property
+    def stale_serves(self) -> int:
+        return int(self._stale_c.value())
+
+    @property
+    def degraded_rows(self) -> int:
+        return int(self._degraded_c.value())
 
     @property
     def adaptive_rows(self) -> int:
@@ -232,6 +282,21 @@ class ServiceMetrics:
         self._adaptive_passes_c.inc(int(counts.sum()))
         self._adaptive_budget_c.inc(int(counts.size) * int(max_samples))
 
+    def record_shed(self, slo: str) -> None:
+        self._shed_c.inc(slo=slo)
+
+    def record_deadline_eviction(self, slo: str) -> None:
+        self._deadline_c.inc(slo=slo)
+
+    def record_restart(self, cause: str) -> None:
+        self._restarts_c.inc(cause=cause)
+
+    def record_stale(self) -> None:
+        self._stale_c.inc()
+
+    def record_degraded(self, rows: int) -> None:
+        self._degraded_c.inc(int(rows))
+
     def record_queue_depth(self, depth: int) -> None:
         # The read-modify-write on the high-water mark needs the metrics
         # lock: two concurrent submits must not regress the maximum.
@@ -252,6 +317,21 @@ class ServiceMetrics:
             "service_stack_cache_entries",
             "Cached weight-stack ensembles",
             fn=lambda: len(stack_cache),
+        )
+
+    def attach_admission(self, controller) -> None:
+        """Expose an :class:`~repro.serving.resilience.AdmissionController`'s
+        live pressure signal and overload-ladder position as registry
+        gauges (read lazily at scrape time)."""
+        self.registry.gauge(
+            "service_pressure_seconds",
+            "EWMA queue-wait pressure driving admission control",
+            fn=controller.pressure,
+        )
+        self.registry.gauge(
+            "service_degrade_level",
+            "Overload-ladder position (0 full N, 1 half, 2 floor)",
+            fn=lambda: float(controller.degrade_level()),
         )
 
     def _stack_snapshot(self) -> dict[str, int]:
@@ -337,6 +417,15 @@ class ServiceMetrics:
             "adaptive_passes": adaptive_passes,
             "adaptive_mean_passes": mean_passes,
             "adaptive_saved_fraction": saved,
+            "shed": self.shed,
+            "shed_by_class": {
+                slo: int(count)
+                for (slo,), count in sorted(self._shed_c.series().items())
+            },
+            "deadline_evictions": self.deadline_evictions,
+            "worker_restarts": self.worker_restarts,
+            "stale_serves": self.stale_serves,
+            "degraded_rows": self.degraded_rows,
         }
         snap.update(self._stack_snapshot())
         return snap
@@ -371,5 +460,19 @@ class ServiceMetrics:
                 f"adaptive        : {snap['adaptive_rows']} rows, "
                 f"mean {snap['adaptive_mean_passes']:.1f} passes "
                 f"({snap['adaptive_saved_fraction'] * 100.0:.1f}% passes saved)"
+            )
+        if snap["shed"] or snap["deadline_evictions"]:
+            by_class = ", ".join(
+                f"{slo}x{count}" for slo, count in snap["shed_by_class"].items()
+            )
+            lines.append(
+                f"resilience      : {snap['shed']} shed ({by_class or 'none'}), "
+                f"{snap['deadline_evictions']} deadline evictions"
+            )
+        if snap["worker_restarts"] or snap["stale_serves"] or snap["degraded_rows"]:
+            lines.append(
+                f"degradation     : {snap['worker_restarts']} worker restarts, "
+                f"{snap['stale_serves']} stale serves, "
+                f"{snap['degraded_rows']} degraded rows"
             )
         return "\n".join(lines)

@@ -51,13 +51,28 @@ from repro.utils.seeding import derive_seed
 from repro.utils.validation import check_positive
 
 
-def worker_stream_seed(base_seed: int, version: int, worker_index: int) -> int:
+def worker_stream_seed(
+    base_seed: int, version: int, worker_index: int, incarnation: int = 0
+) -> int:
     """Seed of worker ``worker_index``'s GRNG stream for a model version.
 
     Derived through :func:`repro.utils.seeding.derive_seed` so concurrent
     workers get decorrelated yet individually reproducible streams; bumping
     the version (a reload) deterministically resets every worker's stream.
+
+    ``incarnation`` counts supervised restarts of the worker slot.  A
+    restarted worker must not replay the dead incarnation's stream (its
+    position is unknowable — the crash interrupted it mid-draw), so each
+    incarnation derives a fresh decorrelated seed; the derivation stays a
+    pure function of ``(seed, version, worker, incarnation)``, which is
+    what makes post-restart outputs reproducible given the same fault
+    schedule.  Incarnation 0 keeps the original label set, so existing
+    streams (and the equivalence tests built on them) are bit-identical.
     """
+    if incarnation:
+        return derive_seed(
+            base_seed, "serving-worker-restart", version, worker_index, incarnation
+        )
     return derive_seed(base_seed, "serving-worker", version, worker_index)
 
 
@@ -189,14 +204,16 @@ class ModelEntry:
         epsilons = stacked_epsilons(self.network.layers, self.n_samples, stream)
         return build_weight_stacks(self.network.layers, epsilons)
 
-    def build_predictor(self, worker_index: int, stack_cache=None):
+    def build_predictor(self, worker_index: int, stack_cache=None, incarnation: int = 0):
         """Fresh batched predictor with this worker's decorrelated stream.
 
         ``share_weight_stacks`` entries instead return a predictor reading
         the service-wide :class:`~repro.serving.weight_stack.WeightStackCache`
         (``stack_cache`` is then required); an ``adaptive`` config wraps
         either flavour in the early-exit
-        :class:`~repro.bnn.adaptive.AdaptivePredictor`.
+        :class:`~repro.bnn.adaptive.AdaptivePredictor`.  ``incarnation``
+        selects a restarted slot's fresh stream (see
+        :func:`worker_stream_seed`).
         """
         if self.share_weight_stacks:
             if stack_cache is None:
@@ -216,7 +233,9 @@ class ModelEntry:
             else:
                 base = SharedStackPredictor(self, stack_cache)
         else:
-            stream_seed = worker_stream_seed(self.seed, self.version, worker_index)
+            stream_seed = worker_stream_seed(
+                self.seed, self.version, worker_index, incarnation
+            )
             grng = self._make_stream(stream_seed)
             if self.kind == "quantized":
                 base = QuantizedServingPredictor(

@@ -37,12 +37,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bnn.bayesian import BayesianNetwork
-from repro.errors import ConfigurationError, ServiceOverloaded
+from repro.errors import AdmissionShed, ConfigurationError, ServiceOverloaded
 from repro.obs.trace import Tracer
 from repro.serving.batcher import MicroBatcher, PredictionTicket
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.resilience import (
+    SLO_CLASSES,
+    AdmissionController,
+    FaultPlan,
+    ResilienceConfig,
+)
 from repro.serving.weight_stack import WeightStackCache
 from repro.serving.workers import ServingWorker, WorkerPool
 
@@ -72,6 +78,10 @@ class ServiceConfig:
     #: Request-tracing span ring size; 0 disables tracing entirely (no
     #: spans are allocated and the request path pays nothing).
     trace_capacity: int = 0
+    #: Resilience layer (SLO deadlines, admission control, degradation,
+    #: worker supervision — see ``docs/RESILIENCE.md``); ``None`` keeps
+    #: the request path bit-for-bit identical to the pre-resilience stack.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -89,13 +99,26 @@ class BnnService:
         self,
         registry: ModelRegistry | None = None,
         config: ServiceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         self.config = config if config is not None else ServiceConfig()
+        if fault_plan is not None and self.config.resilience is None:
+            raise ConfigurationError(
+                "a FaultPlan requires ServiceConfig.resilience (the chaos "
+                "harness exercises the supervision it configures)"
+            )
+        self.fault_plan = fault_plan
         self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
         self.cache = PredictionCache(capacity=self.config.cache_capacity)
         self.stack_cache = WeightStackCache(capacity=self.config.stack_cache_capacity)
         self.metrics.attach_stack_cache(self.stack_cache)
+        self.admission: AdmissionController | None = None
+        if self.config.resilience is not None:
+            self.admission = AdmissionController(
+                self.config.resilience, capacity=self.config.queue_capacity
+            )
+            self.metrics.attach_admission(self.admission)
         self.tracer: Tracer | None = (
             Tracer(capacity=self.config.trace_capacity)
             if self.config.trace_capacity > 0
@@ -115,6 +138,9 @@ class BnnService:
                 workers=self.config.workers,
                 stack_cache=self.stack_cache,
                 tracer=self.tracer,
+                resilience=self.config.resilience,
+                admission=self.admission,
+                fault_plan=fault_plan,
             )
             self._sync_worker = None
         else:
@@ -125,7 +151,12 @@ class BnnService:
             self._sync_worker = ServingWorker(
                 0, self.registry, self.batcher, self.cache, self.metrics,
                 self.stack_cache, self.tracer,
+                admission=self.admission, fault_plan=fault_plan,
             )
+        # Previous registry version per model whose cache rows were kept
+        # alive for stale serving (reload() under serve_stale).  Plain
+        # dict: GIL-atomic get/set, written only by reload()/evict().
+        self._stale_versions: dict[str, int] = {}
         # In-flight coalescing (cache-enabled services only): cache key ->
         # the pending primary ticket, so identical concurrent requests
         # share one computed row instead of racing for the cache slot.
@@ -153,9 +184,22 @@ class BnnService:
 
     def reload(self, name: str) -> ModelEntry:
         """Re-read a file-backed model; eagerly drops its cached rows
-        and shared weight stacks."""
+        and shared weight stacks.
+
+        Under a resilience config with ``serve_stale`` the previous
+        version's cached rows are *kept*: at the top of the overload
+        ladder the service may answer from them (flagged ``stale`` on the
+        ticket) instead of computing.  Version-keyed cache keys make the
+        old rows unreachable by the normal lookup path, so correctness of
+        fresh serving is unaffected.
+        """
+        resilience = self.config.resilience
+        keep_stale = resilience is not None and resilience.serve_stale
+        if keep_stale:
+            self._stale_versions[name] = self.registry.get(name).version
         entry = self.registry.reload(name)
-        self.cache.invalidate_model(name)
+        if not keep_stale:
+            self.cache.invalidate_model(name)
         self.stack_cache.invalidate_model(name)
         return entry
 
@@ -163,6 +207,7 @@ class BnnService:
         self.registry.evict(name)
         self.cache.invalidate_model(name)
         self.stack_cache.invalidate_model(name)
+        self._stale_versions.pop(name, None)
 
     def refresh_weight_stacks(self, name: str) -> int:
         """Advance a shared-stack model to a fresh sampled ensemble.
@@ -213,7 +258,14 @@ class BnnService:
                     del self._pending[done_key]
         return None
 
-    def submit(self, model: str, x: np.ndarray) -> PredictionTicket:
+    def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        *,
+        slo: str | None = None,
+        deadline_s: float | None = None,
+    ) -> PredictionTicket:
         """Enqueue one prediction request; returns a resolvable ticket.
 
         Raises :class:`~repro.errors.UnknownModelError` for unregistered
@@ -223,12 +275,40 @@ class BnnService:
         cache-enabled service, a request identical to one already in
         flight returns the in-flight ticket instead of queueing a
         duplicate row.
+
+        On a resilience-enabled service (``ServiceConfig.resilience``) a
+        request may carry an SLO class (default ``interactive``) and a
+        deadline in seconds from now (default: the class deadline from the
+        config).  Expired requests fail with
+        :class:`~repro.errors.DeadlineExceeded`; shed ones with
+        :class:`~repro.errors.AdmissionShed` (recorded per class).
         """
         if self._closed:
             raise ConfigurationError("service is closed")
+        resilience = self.config.resilience
+        if resilience is None and (slo is not None or deadline_s is not None):
+            raise ConfigurationError(
+                "slo/deadline_s require ServiceConfig.resilience to be set"
+            )
+        slo_class = slo if slo is not None else "interactive"
+        if slo_class not in SLO_CLASSES:
+            raise ConfigurationError(
+                f"unknown SLO class {slo_class!r}; "
+                f"expected one of {', '.join(SLO_CLASSES)}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(f"deadline_s must be > 0, got {deadline_s}")
         entry = self.registry.get(model)
         row = self._check_row(entry, x)
-        ticket = PredictionTicket(model)
+        ticket = PredictionTicket(model, slo=slo_class)
+        if resilience is not None:
+            limit = (
+                deadline_s
+                if deadline_s is not None
+                else resilience.class_deadline_s(slo_class)
+            )
+            if limit is not None:
+                ticket.deadline = ticket.created_at + limit
         tracer = self.tracer
         span = None
         if tracer is not None:
@@ -284,10 +364,43 @@ class BnnService:
                     span.cache_hit = True
                     tracer.finish(span, end=ticket.completed_at)
                 return ticket
+            if (
+                self.admission is not None
+                and resilience.serve_stale
+                and self.admission.degrade_level() >= 2
+            ):
+                # Top of the overload ladder: answer from the previous
+                # model version's cached row (kept alive by reload()) if
+                # one exists, flagged stale, instead of computing at all.
+                stale_version = self._stale_versions.get(entry.name)
+                if stale_version is not None:
+                    stale_row = self.cache.peek(
+                        PredictionCache.key(
+                            entry.name, stale_version, entry.n_samples, row
+                        )
+                    )
+                    if stale_row is not None:
+                        with self._pending_lock:
+                            if self._pending.get(key) is ticket:
+                                del self._pending[key]
+                        ticket.stale = True
+                        self.metrics.record_stale()
+                        self.metrics.record_cache(True)
+                        ticket.set_result(stale_row)
+                        self.metrics.record_latency(ticket.latency())
+                        if span is not None:
+                            span.add_phase(
+                                "cache_lookup", ticket.completed_at - span.start
+                            )
+                            span.cache_hit = True
+                            tracer.finish(span, end=ticket.completed_at)
+                        return ticket
             self.metrics.record_cache(False)
             if span is not None:
                 span.add_phase("cache_lookup", time.perf_counter() - lookup_start)
         try:
+            if self.admission is not None:
+                self.admission.admit(slo_class, self.batcher.pending())
             depth = self.batcher.submit(row, ticket)
         except Exception as error:
             # Fail the ticket too: a concurrent identical request may
@@ -302,7 +415,9 @@ class BnnService:
                 tracer.finish(
                     span, end=ticket.completed_at, error=type(error).__name__
                 )
-            if isinstance(error, ServiceOverloaded):
+            if isinstance(error, AdmissionShed):
+                self.metrics.record_shed(slo_class)
+            elif isinstance(error, ServiceOverloaded):
                 self.metrics.record_overload()
             raise
         self.metrics.record_queue_depth(depth)
@@ -336,6 +451,8 @@ class BnnService:
         x: np.ndarray,
         *,
         timeout: float = DEFAULT_RESULT_TIMEOUT_S,
+        slo: str | None = None,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """Submit every row of ``x`` and return stacked probability rows.
 
@@ -356,7 +473,9 @@ class BnnService:
             # inputs larger than queue_capacity still complete.
             while True:
                 try:
-                    tickets.append(self.submit(model, row))
+                    tickets.append(
+                        self.submit(model, row, slo=slo, deadline_s=deadline_s)
+                    )
                     break
                 except ServiceOverloaded:
                     self.flush()  # sync mode: drain on this thread
@@ -365,10 +484,16 @@ class BnnService:
         return np.stack([ticket.result(timeout) for ticket in tickets])
 
     def predict_proba(
-        self, model: str, x: np.ndarray, *, timeout: float = DEFAULT_RESULT_TIMEOUT_S
+        self,
+        model: str,
+        x: np.ndarray,
+        *,
+        timeout: float = DEFAULT_RESULT_TIMEOUT_S,
+        slo: str | None = None,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """Single-request convenience wrapper returning one probability row."""
-        ticket = self.submit(model, x)
+        ticket = self.submit(model, x, slo=slo, deadline_s=deadline_s)
         self.flush()
         return ticket.result(timeout)
 

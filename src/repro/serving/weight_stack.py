@@ -50,6 +50,11 @@ from repro.obs import trace as _trace
 #: Key type: (model name, model version, n_samples, stream position).
 StackKey = tuple[str, int, int, int]
 
+#: Single-flight waiters poll at this cadence instead of blocking forever
+#: (the serving no-hang invariant, reprolint RL006); each poll re-reads
+#: the cache state, so a vanished builder only costs one interval.
+_BUILD_POLL_S = 0.1
+
 
 class WeightStackCache:
     """Thread-safe LRU of sampled weight-stack ensembles.
@@ -111,6 +116,7 @@ class WeightStackCache:
                 "weight-stack sharing is enabled for model "
                 f"{entry.name!r} but the stack cache has capacity 0"
             )
+        waited = False
         while True:
             with self._lock:
                 triple = (entry.name, int(entry.version), int(entry.n_samples))
@@ -128,10 +134,16 @@ class WeightStackCache:
                     builder = True
                 else:
                     builder = False
-                    self.waits += 1
+                    if not waited:  # one wait per requester, however many polls
+                        waited = True
+                        self.waits += 1
             if not builder:
                 # Another worker is drawing this stack; wait and re-read.
-                pending.wait()
+                # Bounded wait (the serving no-hang invariant, reprolint
+                # RL006): if the builder thread dies without signalling,
+                # the loop re-reads state and takes over instead of
+                # blocking forever.
+                pending.wait(_BUILD_POLL_S)
                 continue
             try:
                 # The draw is the dominant cost of a shared-stack miss;

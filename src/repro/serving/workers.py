@@ -15,6 +15,17 @@ queueing; the pool size is a throughput/latency knob, not a parallel-Python
 workaround.  ``ServingWorker`` is also usable unstarted: the synchronous
 service mode constructs worker 0 and calls :meth:`ServingWorker.execute`
 on the caller's thread, so both modes run the identical execution path.
+
+With a :class:`~repro.serving.resilience.ResilienceConfig` attached the
+pool additionally supervises its threads (``docs/RESILIENCE.md``): a
+supervisor thread watches heartbeats and per-batch residency, fails a
+dead or stalled worker's tickets with a typed
+:class:`~repro.errors.WorkerCrashed` (never a hang), and restarts the
+slot with a bumped ``incarnation`` so the replacement draws a fresh,
+decorrelated — yet deterministic — GRNG stream.  Workers re-check request
+deadlines at execution time, shed expired tickets with
+:class:`~repro.errors.DeadlineExceeded`, and step Monte-Carlo passes down
+the overload ladder through the adaptive ``chunk_probs`` seam.
 """
 
 from __future__ import annotations
@@ -25,13 +36,24 @@ import time
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    InjectedWorkerKill,
+    WorkerCrashed,
+)
 from repro.obs import trace as _trace
 from repro.obs.trace import Tracer
 from repro.serving.batcher import Batch, MicroBatcher
 from repro.serving.cache import PredictionCache
 from repro.serving.metrics import ServiceMetrics
 from repro.serving.registry import ModelRegistry
+from repro.serving.resilience import (
+    AdmissionController,
+    FaultPlan,
+    ResilienceConfig,
+    chunk_seam,
+)
 from repro.serving.weight_stack import WeightStackCache
 from repro.utils.validation import check_positive
 
@@ -39,8 +61,42 @@ from repro.utils.validation import check_positive
 _IDLE_POLL_S = 0.05
 
 
+def _fail_batch_tickets(
+    batch: Batch,
+    error: Exception,
+    metrics: ServiceMetrics,
+    tracer: Tracer | None,
+) -> int:
+    """Deliver ``error`` to every unresolved ticket of ``batch``.
+
+    Covers both the live tickets and any deadline-expired ones the batcher
+    attached (a crashed worker must resolve *everything* it was holding).
+    First delivery wins — tickets already resolved elsewhere are skipped —
+    and each actual delivery is counted as a failure and closes the
+    request's span.  Returns the number of tickets actually failed.
+    """
+    failed = 0
+    for ticket in list(batch.tickets) + list(batch.expired):
+        if not ticket.set_exception(error):
+            continue
+        failed += 1
+        metrics.record_failure()
+        if tracer is not None and ticket.trace is not None:
+            tracer.finish(
+                ticket.trace, end=ticket.completed_at, error=type(error).__name__
+            )
+    return failed
+
+
 class ServingWorker(threading.Thread):
-    """One serving thread (or the synchronous mode's inline executor)."""
+    """One serving thread (or the synchronous mode's inline executor).
+
+    The supervision attributes (``last_beat``, ``busy_since``,
+    ``current_batch``, ``retired``, ``crashed``) are deliberately plain,
+    lock-free attributes: each is written by the worker thread and read as
+    a single-word snapshot by the supervisor, so a slightly stale read
+    only delays a supervision decision by one poll interval.
+    """
 
     def __init__(
         self,
@@ -51,6 +107,10 @@ class ServingWorker(threading.Thread):
         metrics: ServiceMetrics,
         stack_cache: WeightStackCache | None = None,
         tracer: Tracer | None = None,
+        *,
+        admission: AdmissionController | None = None,
+        fault_plan: FaultPlan | None = None,
+        incarnation: int = 0,
     ) -> None:
         super().__init__(name=f"bnn-serving-worker-{index}", daemon=True)
         self.index = index
@@ -60,6 +120,15 @@ class ServingWorker(threading.Thread):
         self.metrics = metrics
         self.stack_cache = stack_cache
         self.tracer = tracer
+        self.admission = admission
+        self.fault_plan = fault_plan
+        self.incarnation = incarnation
+        # Supervision heartbeat/progress markers (see class docstring).
+        self.last_beat = time.perf_counter()
+        self.busy_since: float | None = None
+        self.current_batch: Batch | None = None
+        self.retired = False
+        self.crashed = False
         # Per-worker predictor cache: model name -> (version, predictor).
         self._predictors: dict[str, tuple[int, object]] = {}
 
@@ -68,9 +137,51 @@ class ServingWorker(threading.Thread):
         cached = self._predictors.get(entry.name)
         if cached is not None and cached[0] == entry.version:
             return cached[1]
-        predictor = entry.build_predictor(self.index, stack_cache=self.stack_cache)
+        predictor = entry.build_predictor(
+            self.index, stack_cache=self.stack_cache, incarnation=self.incarnation
+        )
         self._predictors[entry.name] = (entry.version, predictor)
         return predictor
+
+    def _shed_expired(self, batch: Batch) -> None:
+        """Fail expired tickets (batcher-evicted + execution-time re-check).
+
+        Each shed ticket — and every coalesced follower riding it, since
+        followers share the ticket — fails exactly once with a typed
+        :class:`~repro.errors.DeadlineExceeded`; its span gets a ``shed``
+        phase covering the queue residency that expired it.
+        """
+        shed = list(batch.expired)
+        batch.expired = []
+        if batch.tickets and any(t.deadline is not None for t in batch.tickets):
+            now = time.perf_counter()
+            rows, tickets = [], []
+            for row, ticket in zip(batch.rows, batch.tickets):
+                if ticket.deadline is not None and now > ticket.deadline:
+                    shed.append(ticket)
+                else:
+                    rows.append(row)
+                    tickets.append(ticket)
+            batch.rows = rows
+            batch.tickets = tickets
+        tracer = self.tracer
+        for ticket in shed:
+            error = DeadlineExceeded(
+                f"{ticket.slo} request for model {ticket.model!r} expired "
+                "in queue before a worker could serve it"
+            )
+            if not ticket.set_exception(error):
+                continue
+            self.metrics.record_deadline_eviction(ticket.slo)
+            self.metrics.record_failure()
+            if tracer is not None and ticket.trace is not None:
+                span = ticket.trace
+                enqueued = span.marks.get("enqueued", span.start)
+                span.add_phase("shed", max(0.0, ticket.completed_at - enqueued))
+                span.worker = self.index
+                tracer.finish(
+                    span, end=ticket.completed_at, error="DeadlineExceeded"
+                )
 
     def execute(self, batch: Batch) -> None:
         """Run one coalesced batch and resolve every ticket in it.
@@ -83,34 +194,74 @@ class ServingWorker(threading.Thread):
         for any of the batch's rows (a short result would otherwise cache
         some rows before the per-row indexing blew up mid-loop).
         """
+        plan = self.fault_plan
+        if plan is not None:
+            event = plan.fire(self.index, self.incarnation)
+            if event is not None:
+                if event.action == "kill":
+                    raise InjectedWorkerKill(
+                        f"fault plan killed worker {self.index} "
+                        f"(incarnation {self.incarnation})"
+                    )
+                # "stall" and "delay" only differ in magnitude: a stall is
+                # long enough for the supervisor's batch timeout to fire.
+                time.sleep(event.seconds)
+        if batch.expired or any(t.deadline is not None for t in batch.tickets):
+            self._shed_expired(batch)
         if len(batch) == 0:
-            return
+            return  # whole batch expired: no inference, tickets already failed
         tracer = self.tracer
         traced = tracer is not None and any(
             ticket.trace is not None for ticket in batch.tickets
         )
         exec_start = time.perf_counter()
+        admission = self.admission
+        if admission is not None:
+            # Queue pressure = how long the batch's youngest request sat
+            # queued before execution started (perf_counter timebase, the
+            # same clock the tracer stamps spans with).
+            youngest = max(ticket.created_at for ticket in batch.tickets)
+            admission.observe_queue_wait(exec_start - youngest)
         # Phase collection is installed only for traced batches; the inner
         # phase() calls degrade to a single thread-local read otherwise.
         batch_phases: dict[str, float] = {}
         collect = (
             _trace.collect_phases(batch_phases) if traced else contextlib.nullcontext()
         )
+        degraded: int | None = None
         try:
             with collect:
                 with _trace.phase("stack_build"):
                     entry = self.registry.get(batch.model)
                     predictor = self._predictor_for(entry)
+                seam = None
+                if admission is not None:
+                    n_eff = admission.effective_passes(entry.n_samples)
+                    if n_eff < entry.n_samples:
+                        seam = chunk_seam(predictor)
                 with _trace.phase("inference"):
-                    probs = np.asarray(predictor.predict_proba_batched(batch.stack()))
+                    if seam is not None:
+                        # Overload ladder: serve only the first n_eff MC
+                        # passes through the chunk seam — the same passes a
+                        # full run would execute first, so degraded results
+                        # are a matched-ensemble prefix (docs/RESILIENCE.md).
+                        degraded = n_eff
+                        probs = np.asarray(seam(batch.stack(), 0, n_eff)).mean(axis=0)
+                    else:
+                        probs = np.asarray(
+                            predictor.predict_proba_batched(batch.stack())
+                        )
             if probs.ndim != 2 or probs.shape != (len(batch), entry.out_features):
                 raise ConfigurationError(
                     f"predictor for model {entry.name!r} returned shape "
                     f"{probs.shape}, expected ({len(batch)}, {entry.out_features})"
                 )
         except Exception as error:  # noqa: BLE001 - fault barrier per batch
+            self.metrics.record_batch(len(batch))
             for ticket in batch.tickets:
-                ticket.set_exception(error)
+                if not ticket.set_exception(error):
+                    continue
+                self.metrics.record_failure()
                 if traced and ticket.trace is not None:
                     span = ticket.trace
                     span.batch_size = len(batch)
@@ -118,13 +269,12 @@ class ServingWorker(threading.Thread):
                     tracer.finish(
                         span, end=ticket.completed_at, error=type(error).__name__
                     )
-            self.metrics.record_batch(len(batch))
-            for _ in batch.tickets:
-                self.metrics.record_failure()
             return
         self.metrics.record_batch(len(batch))
+        if degraded is not None:
+            self.metrics.record_degraded(len(batch))
         pop_pass_counts = getattr(predictor, "pop_pass_counts", None)
-        if pop_pass_counts is not None:
+        if pop_pass_counts is not None and degraded is None:
             pass_counts = pop_pass_counts()
             if pass_counts is not None:
                 self.metrics.record_adaptive(pass_counts, entry.n_samples)
@@ -149,6 +299,11 @@ class ServingWorker(threading.Thread):
             infer_s = batch_phases.get("inference", 0.0)
         respond_start = time.perf_counter()
         for row_index, ticket in enumerate(batch.tickets):
+            if batch.cancelled:
+                # The supervisor declared this worker stalled and already
+                # failed the batch over; a late completion must not clobber
+                # the typed error or write zombie cache rows.
+                return
             row = probs[row_index]
             if self.cache.capacity:  # skip the per-row digest when disabled
                 self.cache.put(
@@ -157,7 +312,9 @@ class ServingWorker(threading.Thread):
                     ),
                     row,
                 )
-            ticket.set_result(row)
+            ticket.degraded = degraded
+            if not ticket.set_result(row):
+                continue
             self.metrics.record_latency(ticket.latency())
             if traced and ticket.trace is not None:
                 span = ticket.trace
@@ -173,16 +330,37 @@ class ServingWorker(threading.Thread):
 
     # ------------------------------------------------------------------
     def run(self) -> None:  # pragma: no cover - exercised via WorkerPool tests
-        while True:
+        while not self.retired:
             batch = self.batcher.next_batch(timeout=_IDLE_POLL_S)
+            self.last_beat = time.perf_counter()
             if batch is not None:
-                self.execute(batch)
+                self.busy_since = time.perf_counter()
+                self.current_batch = batch
+                try:
+                    self.execute(batch)
+                except InjectedWorkerKill:
+                    # Chaos kill: die holding the batch.  current_batch
+                    # stays set so the supervisor fails its tickets over.
+                    self.crashed = True
+                    return
+                self.current_batch = None
+                self.busy_since = None
             elif self.batcher.closed:
                 return
 
 
 class WorkerPool:
-    """Owns ``workers`` serving threads over one shared batcher."""
+    """Owns ``workers`` serving threads over one shared batcher.
+
+    With ``resilience`` set, a supervisor thread polls the workers every
+    ``heartbeat_interval_s``: a dead worker (chaos kill, unexpected thread
+    death) or one stuck on a single batch past ``batch_timeout_s`` has its
+    batch failed over with :class:`~repro.errors.WorkerCrashed` and its
+    slot restarted with ``incarnation + 1`` — the replacement's GRNG
+    stream is re-derived at the bumped position, so post-restart outputs
+    are decorrelated from the dead worker's yet fully deterministic given
+    the fault schedule.
+    """
 
     def __init__(
         self,
@@ -193,20 +371,129 @@ class WorkerPool:
         workers: int = 2,
         stack_cache: WeightStackCache | None = None,
         tracer: Tracer | None = None,
+        resilience: ResilienceConfig | None = None,
+        admission: AdmissionController | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         check_positive("workers", workers)
+        self.registry = registry
         self.batcher = batcher
-        self.workers = [
-            ServingWorker(index, registry, batcher, cache, metrics, stack_cache, tracer)
-            for index in range(workers)
-        ]
+        self.cache = cache
+        self.metrics = metrics
+        self.stack_cache = stack_cache
+        self.tracer = tracer
+        self.resilience = resilience
+        self.admission = admission
+        self.fault_plan = fault_plan
+        self._lock = threading.Lock()
+        self._restarts = 0
+        self._stopping = threading.Event()
+        self.workers = [self._make_worker(index, 0) for index in range(workers)]
         for worker in self.workers:
             worker.start()
+        self._supervisor: threading.Thread | None = None
+        if resilience is not None:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="bnn-serving-supervisor", daemon=True
+            )
+            self._supervisor.start()
 
+    def _make_worker(self, index: int, incarnation: int) -> ServingWorker:
+        return ServingWorker(
+            index,
+            self.registry,
+            self.batcher,
+            self.cache,
+            self.metrics,
+            self.stack_cache,
+            self.tracer,
+            admission=self.admission,
+            fault_plan=self.fault_plan,
+            incarnation=incarnation,
+        )
+
+    @property
+    def restarts(self) -> int:
+        """Supervised restarts performed over the pool's lifetime."""
+        with self._lock:
+            return self._restarts
+
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:  # pragma: no cover - exercised via chaos tests
+        config = self.resilience
+        while not self._stopping.wait(config.heartbeat_interval_s):
+            with self._lock:
+                snapshot = list(enumerate(self.workers))
+            now = time.perf_counter()
+            for slot, worker in snapshot:
+                if self._stopping.is_set():
+                    return
+                if not worker.is_alive():
+                    if not worker.retired:
+                        self._failover(slot, worker, "died")
+                    continue
+                busy_since = worker.busy_since
+                if busy_since is not None and now - busy_since > config.batch_timeout_s:
+                    self._failover(slot, worker, "stalled")
+
+    def _failover(self, slot: int, worker: ServingWorker, cause: str) -> None:
+        """Fail a dead/stalled worker's batch over and restart its slot."""
+        restarted = False
+        with self._lock:
+            if self.workers[slot] is not worker:
+                return  # already failed over by an earlier poll
+            if self._restarts < self.resilience.max_restarts:
+                self._restarts += 1
+                restarted = True
+                replacement = self._make_worker(worker.index, worker.incarnation + 1)
+                self.workers[slot] = replacement
+                # Start inside the lock: is_alive() is True once start()
+                # returns, so the next supervisor snapshot can never catch
+                # a swapped-in-but-not-yet-started replacement and restart
+                # it a second time.
+                replacement.start()
+        worker.retired = True
+        batch = worker.current_batch
+        if batch is not None:
+            batch.cancelled = True
+            error = WorkerCrashed(
+                f"serving worker {worker.index} (incarnation "
+                f"{worker.incarnation}) {cause} mid-batch; its requests "
+                "were failed over"
+            )
+            _fail_batch_tickets(batch, error, self.metrics, self.tracer)
+        if restarted:
+            self.metrics.record_restart(cause)
+
+    # ------------------------------------------------------------------
     def stop(self, timeout: float = 5.0) -> None:
         """Close the queue, let workers drain it, and join them."""
+        self._stopping.set()
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.join(timeout)
         # close() refuses new submissions but leaves queued batches
         # poppable, so in-flight tickets still resolve before the join.
         self.batcher.close()
-        for worker in self.workers:
+        with self._lock:
+            workers = list(self.workers)
+        for worker in workers:
             worker.join(timeout)
+        if self.resilience is not None:
+            # No-hang sweep: a worker that died (or is still wedged past
+            # the join timeout) must not leave tickets unresolved behind a
+            # stopped pool.
+            for worker in workers:
+                batch = worker.current_batch
+                if batch is None:
+                    continue
+                batch.cancelled = True
+                _fail_batch_tickets(
+                    batch,
+                    WorkerCrashed(
+                        f"serving worker {worker.index} shut down holding an "
+                        "unfinished batch"
+                    ),
+                    self.metrics,
+                    self.tracer,
+                )

@@ -659,6 +659,103 @@ class TestLockDiscipline:
 
 
 # ----------------------------------------------------------------------
+# RL006 — bounded waits in serving
+# ----------------------------------------------------------------------
+class TestWaitTimeout:
+    def test_bare_event_wait_is_flagged(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/serving/foo.py": """\
+                import threading
+
+                class Gate:
+                    def __init__(self):
+                        self.event = threading.Event()
+
+                    def block(self):
+                        self.event.wait()
+                """
+            },
+        )
+        found = findings_of(lint_project(root, only=["RL006"]), "RL006")
+        assert len(found) == 1
+        assert found[0].scope == "Gate.block"
+        assert "timeout" in found[0].message
+
+    def test_literal_none_timeout_is_the_unbounded_form_in_disguise(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/serving/foo.py": """\
+                def block(event):
+                    event.wait(None)
+
+                def block_kw(event):
+                    event.wait(timeout=None)
+                """
+            },
+        )
+        found = findings_of(lint_project(root, only=["RL006"]), "RL006")
+        assert len(found) == 2
+
+    def test_condition_wait_and_wait_for_need_their_timeout_slot(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/serving/foo.py": """\
+                def park(cond):
+                    cond.wait()
+
+                def park_for(cond):
+                    cond.wait_for(lambda: True)
+                """
+            },
+        )
+        found = findings_of(lint_project(root, only=["RL006"]), "RL006")
+        assert sorted(finding.scope for finding in found) == ["park", "park_for"]
+
+    def test_bounded_waits_are_clean(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/serving/foo.py": """\
+                def poll(event, cond, remaining, **kwargs):
+                    event.wait(0.1)
+                    event.wait(timeout=remaining)
+                    cond.wait(remaining)
+                    cond.wait_for(lambda: True, 1.0)
+                    cond.wait_for(lambda: True, timeout=None if False else 2.0)
+                    event.wait(*[0.5])
+                    event.wait(**kwargs)
+                """
+            },
+        )
+        assert lint_project(root, only=["RL006"]).clean
+
+    def test_waits_outside_serving_are_out_of_scope(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {
+                "src/repro/obs/foo.py": """\
+                def block(event):
+                    event.wait()
+                """
+            },
+        )
+        assert lint_project(root, only=["RL006"]).clean
+
+    def test_the_repo_serving_tier_is_rl006_clean(self):
+        """The real serving package honours its own no-hang rule (modulo
+        the committed baseline, which must carry a reason per entry)."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        report = lint_project(root, only=["RL006"])
+        assert [finding.fingerprint for finding in report.new] == []
+
+
+# ----------------------------------------------------------------------
 # Engine: suppressions, baseline, CLI exit codes
 # ----------------------------------------------------------------------
 BAD_SEED_SRC = """\
