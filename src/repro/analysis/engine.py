@@ -204,6 +204,7 @@ def default_rules() -> list[Rule]:
     from repro.analysis.locks import LockDisciplineRule
     from repro.analysis.rules import (
         CountContractRule,
+        ProcessSeamRule,
         SeedDisciplineRule,
         TypedErrorRule,
         WaitTimeoutRule,
@@ -216,6 +217,7 @@ def default_rules() -> list[Rule]:
         TypedErrorRule(),
         LockDisciplineRule(),
         WaitTimeoutRule(),
+        ProcessSeamRule(),
     ]
 
 

@@ -17,8 +17,11 @@ Modules
 ``predictors``   predictors serving off the shared weight-stack cache
 ``metrics``      latency percentiles, batch histogram, queue/cache gauges
 ``service``      the :class:`BnnService` façade (``submit`` / ``predict_many``)
-``loadgen``      open- and closed-loop load-test harness
+``loadgen``      open- and closed-loop load-test harness + trace replay
 ``resilience``   SLO classes, admission control, overload ladder, chaos plans
+``shm``          checksummed shared-memory tensor segments (process mode)
+``ring``         pickle-free fixed-slot SPSC message rings (process mode)
+``procpool``     crash-isolated process workers behind the same façade
 
 Models can additionally opt into the **adaptive Monte-Carlo** path
 (:mod:`repro.bnn.adaptive`): per-model ``adaptive=AdaptiveConfig(...)``
@@ -34,8 +37,16 @@ with the ≥5x micro-batching acceptance gate.
 
 from repro.serving.batcher import Batch, MicroBatcher, PredictionTicket
 from repro.serving.cache import PredictionCache, input_digest
-from repro.serving.loadgen import LoadStats, run_closed_loop, run_open_loop
+from repro.serving.loadgen import (
+    LoadStats,
+    TracePlan,
+    generate_trace,
+    run_closed_loop,
+    run_open_loop,
+    trace_replay,
+)
 from repro.serving.metrics import ServiceMetrics
+from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.predictors import (
     QuantizedSharedStackPredictor,
     SharedStackPredictor,
@@ -73,6 +84,7 @@ __all__ = [
     "ModelRegistry",
     "PredictionCache",
     "PredictionTicket",
+    "ProcessWorkerPool",
     "QuantizedSharedStackPredictor",
     "ResilienceConfig",
     "SLO_CLASSES",
@@ -80,13 +92,16 @@ __all__ = [
     "ServiceMetrics",
     "ServingWorker",
     "SharedStackPredictor",
+    "TracePlan",
     "WeightStackCache",
     "WorkerPool",
     "chunk_seam",
+    "generate_trace",
     "input_digest",
     "network_from_posterior",
     "run_closed_loop",
     "run_open_loop",
     "slice_stacks",
+    "trace_replay",
     "worker_stream_seed",
 ]

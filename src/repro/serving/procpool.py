@@ -1,0 +1,1115 @@
+"""Process-level worker pool: crash-isolated serving over shared memory.
+
+The thread pool (:mod:`repro.serving.workers`) shares one address space
+with the service, so a worker that segfaults — or is SIGKILLed by the
+chaos harness — takes the whole service down.  This module runs each
+worker slot as an OS **process** behind the same
+:class:`~repro.serving.service.BnnService` façade
+(``ServiceConfig(worker_mode="process")``): a crash costs exactly the
+batch that worker held, failed over with a typed
+:class:`~repro.errors.WorkerCrashed`, while the service and its sibling
+workers keep serving.
+
+Transport (no pickle on the request path)
+-----------------------------------------
+* Model tensors cross the seam once per ``(model, version)`` through
+  checksummed :mod:`repro.serving.shm` segments.  Float models ship the
+  network's internal ``mu``/``rho`` arrays *verbatim* — not the exported
+  ``(mu, sigma)`` posterior — because rebuilding sigma through the
+  softplus round-trip is not guaranteed bitwise; the worker constructs
+  a :class:`~repro.bnn.bayesian.BayesianNetwork` and assigns the arrays
+  directly, so its predictor is bit-identical to the parent's.
+* Requests and results flow through fixed-slot
+  :class:`~repro.serving.ring.Ring` pairs — struct headers plus raw
+  float64 rows, sequence-stamped so a SIGKILL mid-publish is a typed
+  :class:`~repro.errors.RingIntegrityError`, never silently consumed.
+* A small parent-owned **control block** (one float64 row per slot)
+  carries heartbeats and cumulative progress counters.  The
+  batches-started counter is the fault schedule's clock: it persists
+  across SIGKILL, so a replacement incarnation keeps the thread-mode
+  "``at_batch`` counts across restarts" semantics.
+
+Determinism
+-----------
+Workers build predictors with the *same* derivations as thread mode
+(:func:`~repro.serving.registry.worker_stream_seed`, weight-stack seeds
+keyed ``(model, version, N, position)``), and each request ships the
+parent's current stack position — so a process-mode run is bit-identical
+to the thread-mode (and synchronous) run on the same seeds, which the
+equivalence gates in ``benches/bench_serving.py`` assert.
+
+Supervision
+-----------
+A supervisor thread extends PR 9's policy across the process boundary:
+``Process.is_alive()`` plus per-batch residency against
+``batch_timeout_s``.  Failover SIGKILLs the incarnation, resolves every
+ticket it held with :class:`~repro.errors.WorkerCrashed` (the accounting
+invariant ``completed + failed + shed == offered`` survives any chaos
+schedule), builds **fresh** rings, and restarts the slot with
+``incarnation + 1``.  Every shared-memory object is parent-owned and
+unlinked on ``stop()``/failover/atexit — ``shm.live_segments()`` is empty
+after a clean stop, chaos or not.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.bnn.adaptive import AdaptiveConfig
+from repro.bnn.bayesian import BayesianNetwork
+from repro.errors import (
+    ConfigurationError,
+    RingIntegrityError,
+    ServingError,
+    WorkerCrashed,
+)
+from repro.obs.trace import Tracer
+from repro.serving import shm as _shm
+from repro.serving.batcher import Batch, MicroBatcher
+from repro.serving.cache import PredictionCache
+from repro.serving.metrics import ServiceMetrics
+from repro.serving.registry import ModelEntry, ModelRegistry
+from repro.serving.resilience import (
+    AdmissionController,
+    FaultPlan,
+    ResilienceConfig,
+    chunk_seam,
+)
+from repro.serving.ring import (
+    MSG_ERROR,
+    MSG_EVICT_MODEL,
+    MSG_LOAD_MODEL,
+    MSG_REQUEST,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    Ring,
+)
+from repro.serving.weight_stack import WeightStackCache
+from repro.serving.workers import _fail_batch_tickets, shed_expired_tickets
+from repro.utils.validation import check_positive
+
+__all__ = ["ProcessWorkerPool", "export_entry_meta", "entry_from_meta"]
+
+#: Channel threads poll at the same cadence as the thread workers.
+_IDLE_POLL_S = 0.05
+#: Stall ceiling when no ResilienceConfig is attached: the supervisor
+#: still fails over a wedged process (the no-hang invariant is not
+#: optional in process mode), just with a generous budget.
+_DEFAULT_BATCH_TIMEOUT_S = 60.0
+_DEFAULT_HEARTBEAT_S = 0.05
+_DEFAULT_MAX_RESTARTS = 16
+#: Slot state while a failover is mid-flight: the old incarnation is dead
+#: but its replacement has not been spawned yet.  Channel threads wait
+#: this state out instead of misreading it as a retired slot.
+_RESTARTING = object()
+
+# ----------------------------------------------------------------------
+# Control block: one float64 row per worker slot, parent-owned.
+# ----------------------------------------------------------------------
+_CTRL_FIELDS = 8
+(
+    _F_HEARTBEAT,        #: monotonically bumped each worker loop turn
+    _F_BATCHES_STARTED,  #: cumulative across incarnations — the fault clock
+    _F_BATCHES_DONE,
+    _F_ROWS_DONE,
+    _F_ADAPTIVE_ROWS,
+    _F_ADAPTIVE_PASSES,
+    _F_INFERENCE_S,
+    _F_INCARNATION,
+) = range(_CTRL_FIELDS)
+
+_CTRL_COUNTER_NAMES = {
+    "batches_started": _F_BATCHES_STARTED,
+    "batches_done": _F_BATCHES_DONE,
+    "rows_done": _F_ROWS_DONE,
+    "adaptive_rows": _F_ADAPTIVE_ROWS,
+    "adaptive_passes": _F_ADAPTIVE_PASSES,
+    "inference_s": _F_INFERENCE_S,
+}
+
+
+def _ctrl_get(buf, worker: int, field: int) -> float:
+    return struct.unpack_from("<d", buf, (worker * _CTRL_FIELDS + field) * 8)[0]
+
+
+def _ctrl_set(buf, worker: int, field: int, value: float) -> None:
+    struct.pack_into("<d", buf, (worker * _CTRL_FIELDS + field) * 8, float(value))
+
+
+def _ctrl_add(buf, worker: int, field: int, delta: float) -> None:
+    _ctrl_set(buf, worker, field, _ctrl_get(buf, worker, field) + delta)
+
+
+# ----------------------------------------------------------------------
+# Model marshalling (parent publishes, worker rebuilds)
+# ----------------------------------------------------------------------
+#: Float models ship the network internals verbatim (bit-exact rebuild).
+_FLOAT_KEYS = ("mu_weights", "rho_weights", "mu_bias", "rho_bias")
+#: Quantized models ship their exported posterior verbatim.
+_QUANT_KEYS = ("mu_weights", "sigma_weights", "mu_bias", "sigma_bias")
+
+
+def export_entry_meta(
+    entry: ModelEntry, model_id: int
+) -> tuple[bytes, list[_shm.OwnedSegment]]:
+    """Publish ``entry``'s tensors to shared memory; return (JSON meta, segments).
+
+    The JSON payload is everything a worker needs to rebuild an
+    equivalent :class:`~repro.serving.registry.ModelEntry` — serving
+    parameters by value, tensors by checksummed segment name.  The
+    returned segments are parent-owned; the pool caches them per
+    ``(name, version)`` and unlinks them on replacement and at stop.
+    """
+    if entry.kind == "quantized":
+        keys = _QUANT_KEYS
+        layers = entry.posterior
+    else:
+        keys = _FLOAT_KEYS
+        layers = [
+            {
+                "mu_weights": layer.mu_weights,
+                "rho_weights": layer.rho_weights,
+                "mu_bias": layer.mu_bias,
+                "rho_bias": layer.rho_bias,
+            }
+            for layer in entry.network.layers
+        ]
+    segments: list[_shm.OwnedSegment] = []
+    layers_meta: list[dict[str, str]] = []
+    for params in layers:
+        layer_meta = {}
+        for key in keys:
+            segment = _shm.publish_array(np.asarray(params[key]), name_prefix="model")
+            segments.append(segment)
+            layer_meta[key] = segment.name
+        layers_meta.append(layer_meta)
+    adaptive = None
+    if entry.adaptive is not None:
+        adaptive = {
+            "chunk": entry.adaptive.chunk,
+            "exit_delta": entry.adaptive.exit_delta,
+            "min_passes": entry.adaptive.min_passes,
+        }
+    meta = {
+        "model_id": int(model_id),
+        "name": entry.name,
+        "version": int(entry.version),
+        "kind": entry.kind,
+        "n_samples": int(entry.n_samples),
+        "grng_name": entry.grng_name,
+        "seed": int(entry.seed),
+        "bit_length": int(entry.bit_length),
+        "variance_reduction": entry.variance_reduction,
+        "share_weight_stacks": bool(entry.share_weight_stacks),
+        "adaptive": adaptive,
+        "layers": layers_meta,
+    }
+    return json.dumps(meta).encode("utf-8"), segments
+
+
+def entry_from_meta(meta: dict) -> ModelEntry:
+    """Rebuild a worker-local :class:`ModelEntry` from published metadata.
+
+    Attaches (and validates — every segment header is checksummed) the
+    tensor segments, then reconstructs the entry so
+    :meth:`ModelEntry.build_predictor` yields bit-identical predictors to
+    the parent's.
+    """
+    keys = _QUANT_KEYS if meta["kind"] == "quantized" else _FLOAT_KEYS
+    layers = [
+        {key: _shm.attach_array(layer_meta[key]) for key in keys}
+        for layer_meta in meta["layers"]
+    ]
+    adaptive = None
+    if meta["adaptive"] is not None:
+        adaptive = AdaptiveConfig(**meta["adaptive"])
+    common = dict(
+        n_samples=meta["n_samples"],
+        grng_name=meta["grng_name"],
+        seed=meta["seed"],
+        variance_reduction=meta["variance_reduction"],
+        share_weight_stacks=meta["share_weight_stacks"],
+        adaptive=adaptive,
+    )
+    if meta["kind"] == "quantized":
+        entry = ModelEntry(
+            meta["name"],
+            None,
+            kind="quantized",
+            bit_length=meta["bit_length"],
+            posterior=layers,
+            **common,
+        )
+    else:
+        sizes = (layers[0]["mu_weights"].shape[0],) + tuple(
+            params["mu_weights"].shape[1] for params in layers
+        )
+        network = BayesianNetwork(sizes, seed=meta["seed"])
+        for layer, params in zip(network.layers, layers):
+            layer.mu_weights = params["mu_weights"]
+            layer.rho_weights = params["rho_weights"]
+            layer.mu_bias = params["mu_bias"]
+            layer.rho_bias = params["rho_bias"]
+        entry = ModelEntry(meta["name"], network, **common)
+    entry.version = meta["version"]
+    return entry
+
+
+def _encode_error(error: Exception) -> bytes:
+    return f"{type(error).__name__}: {error}".encode("utf-8", "replace")
+
+
+def _decode_error(payload: bytes) -> Exception:
+    """Map a worker's ``"TypeName: message"`` back to a typed exception.
+
+    Unknown names (a worker raised something outside :mod:`repro.errors`)
+    degrade to a plain :class:`~repro.errors.ServingError` carrying the
+    full text — typed where possible, never silent.
+    """
+    text = payload.decode("utf-8", "replace")
+    name, sep, detail = text.partition(": ")
+    cls = getattr(_errors, name, None) if sep else None
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        return cls(detail)
+    return ServingError(f"process worker failed: {text}")
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_index: int,
+    incarnation: int,
+    request_ring: str,
+    response_ring: str,
+    control_name: str,
+    plan_events: tuple,
+    stack_cache_capacity: int,
+) -> None:
+    """One serving process: pop requests, run batched MC, push results.
+
+    Takes only plain data (ints, names, tuples) — no locks, events, or
+    live objects may cross the spawn boundary (reprolint RL007).  The
+    fault plan arrives as plain tuples and is consulted through the pure
+    :meth:`~repro.serving.resilience.FaultPlan.event_at` lookup with the
+    batch count read from the parent-owned control block, so the chaos
+    schedule survives this incarnation's own death.
+    """
+    requests = Ring.attach(request_ring)
+    responses = Ring.attach(response_ring)
+    control = _shm.attach_raw(control_name)
+    ctrl = control.buf
+    _ctrl_set(ctrl, worker_index, _F_INCARNATION, incarnation)
+    plan = FaultPlan.from_plain_events(plan_events) if plan_events else None
+    entries: dict[int, ModelEntry] = {}
+    broken: dict[int, str] = {}
+    predictors: dict[str, tuple[int, object]] = {}
+    stack_cache = WeightStackCache(capacity=stack_cache_capacity)
+    while True:
+        _ctrl_add(ctrl, worker_index, _F_HEARTBEAT, 1.0)
+        message = requests.pop(timeout_s=_IDLE_POLL_S)
+        if message is None:
+            continue
+        if message.kind == MSG_SHUTDOWN:
+            return
+        if message.kind == MSG_LOAD_MODEL:
+            meta = json.loads(message.payload.decode("utf-8"))
+            model_id = int(meta["model_id"])
+            try:
+                entry = entry_from_meta(meta)
+            except Exception as error:  # noqa: BLE001 - reported per request
+                # Typically a lost race with the parent unlinking a
+                # superseded version's segments; requests against this id
+                # fail typed until the parent pushes the newer version.
+                entries.pop(model_id, None)
+                broken[model_id] = f"{type(error).__name__}: {error}"
+                continue
+            entries[model_id] = entry
+            broken.pop(model_id, None)
+            predictors.pop(entry.name, None)
+            continue
+        if message.kind == MSG_EVICT_MODEL:
+            model_id = int(message.aux3)
+            evicted = entries.pop(model_id, None)
+            broken.pop(model_id, None)
+            if evicted is not None:
+                predictors.pop(evicted.name, None)
+                stack_cache.invalidate_model(evicted.name)
+            continue
+        if message.kind != MSG_REQUEST:
+            continue  # unknown control kind: skip, stay up
+        # The batch count is read-modify-written to the control block
+        # *before* the fault check so a kill mid-batch still advances the
+        # schedule clock for the replacement incarnation.
+        count = int(_ctrl_get(ctrl, worker_index, _F_BATCHES_STARTED)) + 1
+        _ctrl_set(ctrl, worker_index, _F_BATCHES_STARTED, count)
+        if plan is not None:
+            event = plan.event_at(worker_index, count, incarnation)
+            if event is not None:
+                if event.action == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if event.action == "exit":
+                    os._exit(13)
+                # "stall" and "delay" only differ in magnitude: a stall
+                # outlives the supervisor's batch timeout and gets this
+                # process killed mid-sleep.
+                time.sleep(event.seconds)
+        try:
+            payload, rows, cols, aux = _serve_request(
+                message, worker_index, incarnation, entries, broken,
+                predictors, stack_cache,
+            )
+            _ctrl_add(ctrl, worker_index, _F_BATCHES_DONE, 1.0)
+            _ctrl_add(ctrl, worker_index, _F_ROWS_DONE, rows)
+            _ctrl_add(ctrl, worker_index, _F_ADAPTIVE_ROWS, aux[0])
+            _ctrl_add(ctrl, worker_index, _F_ADAPTIVE_PASSES, aux[1])
+            _ctrl_add(ctrl, worker_index, _F_INFERENCE_S, aux[3])
+            response = (MSG_RESULT, payload, rows, cols, aux[0], aux[1], aux[2])
+        except Exception as error:  # noqa: BLE001 - fault barrier per batch
+            response = (MSG_ERROR, _encode_error(error), 0, 0, 0, 0, 0)
+        kind, payload, rows, cols, aux1, aux2, aux3 = response
+        try:
+            responses.push(
+                kind,
+                payload,
+                rows=rows,
+                cols=cols,
+                version=message.version,
+                msg_id=message.msg_id,
+                aux1=aux1,
+                aux2=aux2,
+                aux3=aux3,
+            )
+        except ServingError:
+            # The parent stopped consuming (failover/stop in progress);
+            # keep looping — this incarnation is about to be torn down.
+            continue
+
+
+def _serve_request(
+    message,
+    worker_index: int,
+    incarnation: int,
+    entries: dict[int, ModelEntry],
+    broken: dict[int, str],
+    predictors: dict[str, tuple[int, object]],
+    stack_cache: WeightStackCache,
+) -> tuple[bytes, int, int, tuple[int, int, int, float]]:
+    """Run one batch worker-side; returns (payload, rows, cols, aux).
+
+    ``aux`` is ``(adaptive_rows, adaptive_passes, degraded_n_eff,
+    inference_seconds)``.  Mirrors the thread worker's execute() compute
+    path exactly: same predictor construction, same degradation seam,
+    same output-shape check inside the fault barrier.
+    """
+    model_id = int(message.aux3)
+    entry = entries.get(model_id)
+    if entry is None:
+        detail = broken.get(model_id, "model was never loaded on this worker")
+        raise ServingError(f"model id {model_id} unavailable: {detail}")
+    if entry.version != message.version:
+        raise ServingError(
+            f"request targets version {message.version} of model "
+            f"{entry.name!r} but this worker holds version {entry.version}"
+        )
+    x = message.rows_array()
+    cached = predictors.get(entry.name)
+    if cached is not None and cached[0] == entry.version:
+        predictor = cached[1]
+    else:
+        predictor = entry.build_predictor(
+            worker_index, stack_cache=stack_cache, incarnation=incarnation
+        )
+        predictors[entry.name] = (entry.version, predictor)
+    if entry.share_weight_stacks:
+        stack_cache.sync_position(
+            entry.name, entry.version, entry.n_samples, int(message.aux2)
+        )
+    n_eff = int(message.aux1)
+    degraded = 0
+    started = time.perf_counter()
+    seam = None
+    if 0 < n_eff < entry.n_samples:
+        seam = chunk_seam(predictor)
+    if seam is not None:
+        degraded = n_eff
+        probs = np.asarray(seam(x, 0, n_eff)).mean(axis=0)
+    else:
+        probs = np.asarray(predictor.predict_proba_batched(x))
+    inference_s = time.perf_counter() - started
+    if probs.ndim != 2 or probs.shape != (message.rows, entry.out_features):
+        raise ConfigurationError(
+            f"predictor for model {entry.name!r} returned shape "
+            f"{probs.shape}, expected ({message.rows}, {entry.out_features})"
+        )
+    adaptive_rows = adaptive_passes = 0
+    pop_pass_counts = getattr(predictor, "pop_pass_counts", None)
+    if pop_pass_counts is not None and not degraded:
+        pass_counts = pop_pass_counts()
+        if pass_counts is not None:
+            adaptive_rows = int(np.asarray(pass_counts).size)
+            adaptive_passes = int(np.asarray(pass_counts).sum())
+    payload = np.ascontiguousarray(probs, dtype=np.float64).tobytes()
+    return (
+        payload,
+        int(probs.shape[0]),
+        int(probs.shape[1]),
+        (adaptive_rows, adaptive_passes, degraded, inference_s),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _WorkerLink:
+    """Parent-side handle to one live worker incarnation.
+
+    Owns the incarnation's transport (rings are rebuilt fresh on every
+    restart — a killed worker may have torn its old rings).  ``abort`` is
+    the cross-thread tear-down flag: the supervisor sets it during
+    failover and the slot's channel thread backs out of any ring wait.
+    Ring unlinking is deferred to :meth:`release` (called by the channel
+    thread or ``stop()``, never concurrently with ring use).
+    """
+
+    def __init__(self, slot: int, incarnation: int, process, request: Ring,
+                 response: Ring) -> None:
+        self.slot = slot
+        self.incarnation = incarnation
+        self.process = process
+        self.request = request
+        self.response = response
+        self.abort = threading.Event()
+        #: model name -> version already pushed to this incarnation.
+        self.pushed: dict[str, int] = {}
+        #: model evictions queued for the channel thread to forward.
+        self.pending_evictions: list[tuple[str, int]] = []
+        self.next_msg_id = 1
+        self._release_lock = threading.Lock()
+        self._released = False
+
+    def release(self) -> None:
+        """Unlink this incarnation's rings exactly once (thread-safe)."""
+        with self._release_lock:
+            if self._released:
+                return
+            self._released = True
+        self.request.close()
+        self.response.close()
+
+
+class _ChannelWorker(threading.Thread):
+    """One parent thread per slot: batcher -> request ring -> tickets.
+
+    Persists across incarnations (links are swapped underneath it by the
+    supervisor).  Mirrors the thread worker's execute() policy on the
+    parent side of the seam: deadline shedding, admission observation,
+    the degradation ladder, cache fills, metrics, and span phases — so
+    both modes present identical serving semantics.
+    """
+
+    def __init__(self, pool: "ProcessWorkerPool", slot: int) -> None:
+        super().__init__(name=f"bnn-serving-channel-{slot}", daemon=True)
+        self.pool = pool
+        self.slot = slot
+        self.busy_since: float | None = None
+        self.current_batch: Batch | None = None
+        self.retired = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        pool = self.pool
+        while not self.retired:
+            batch = pool.batcher.next_batch(timeout=_IDLE_POLL_S)
+            if batch is None:
+                if pool.batcher.closed:
+                    return
+                continue
+            self.busy_since = time.perf_counter()
+            self.current_batch = batch
+            try:
+                self._dispatch(batch)
+            except Exception as error:  # noqa: BLE001 - last-resort barrier
+                batch.cancelled = True
+                pool.metrics.record_batch(len(batch))
+                _fail_batch_tickets(
+                    batch,
+                    ServingError(f"process-mode dispatch failed: {error}"),
+                    pool.metrics,
+                    pool.tracer,
+                )
+            finally:
+                self.current_batch = None
+                self.busy_since = None
+
+    # ------------------------------------------------------------------
+    def _fail_with_spans(self, batch: Batch, error: Exception, traced: bool) -> None:
+        """Thread-worker-barrier ticket failure (metrics + span close)."""
+        pool = self.pool
+        pool.metrics.record_batch(len(batch))
+        for ticket in batch.tickets:
+            if not ticket.set_exception(error):
+                continue
+            pool.metrics.record_failure()
+            if traced and ticket.trace is not None:
+                span = ticket.trace
+                span.batch_size = len(batch)
+                span.worker = self.slot
+                pool.tracer.finish(
+                    span, end=ticket.completed_at, error=type(error).__name__
+                )
+
+    def _fail_crashed(self, batch: Batch, link: _WorkerLink, traced: bool) -> None:
+        """Fail a batch whose incarnation died mid-dispatch."""
+        batch.cancelled = True
+        self._fail_with_spans(
+            batch,
+            WorkerCrashed(
+                f"serving process worker {self.slot} (incarnation "
+                f"{link.incarnation}) crashed or was failed over mid-batch; "
+                "its requests were failed with this typed error"
+            ),
+            traced,
+        )
+
+    def _ensure_model(self, link: _WorkerLink, entry: ModelEntry) -> int:
+        """Push LOAD_MODEL to the incarnation if it lacks this version."""
+        pool = self.pool
+        model_id = pool._model_id(entry.name)
+        if link.pushed.get(entry.name) != entry.version:
+            payload = pool._bundle_payload(entry, model_id)
+            link.request.push(
+                MSG_LOAD_MODEL,
+                payload,
+                version=entry.version,
+                should_abort=link.abort.is_set,
+            )
+            link.pushed[entry.name] = entry.version
+        return model_id
+
+    def _forward_evictions(self, link: _WorkerLink) -> None:
+        pool = self.pool
+        with pool._lock:
+            evictions = list(link.pending_evictions)
+            link.pending_evictions.clear()
+        for name, model_id in evictions:
+            link.pushed.pop(name, None)
+            link.request.push(
+                MSG_EVICT_MODEL,
+                name.encode("utf-8"),
+                aux3=model_id,
+                should_abort=link.abort.is_set,
+            )
+
+    def _await_response(self, link: _WorkerLink, msg_id: int):
+        """Block (bounded by supervision) for the in-flight batch's reply."""
+        pool = self.pool
+        while True:
+            if link.abort.is_set():
+                return None  # failover owns the tickets now
+            message = link.response.pop(
+                timeout_s=_IDLE_POLL_S, should_abort=link.abort.is_set
+            )
+            if message is not None:
+                if message.msg_id != msg_id:
+                    raise RingIntegrityError(
+                        f"response carries message id {message.msg_id}, "
+                        f"expected {msg_id} — protocol desync"
+                    )
+                return message
+            if link.abort.is_set():
+                return None
+            if not link.process.is_alive():
+                pool._failover(self.slot, link, "died")
+                return None
+
+    def _dispatch(self, batch: Batch) -> None:
+        pool = self.pool
+        tracer = pool.tracer
+        if batch.expired or any(t.deadline is not None for t in batch.tickets):
+            shed_expired_tickets(batch, pool.metrics, tracer, self.slot)
+        if len(batch) == 0:
+            return
+        traced = tracer is not None and any(
+            ticket.trace is not None for ticket in batch.tickets
+        )
+        exec_start = time.perf_counter()
+        admission = pool.admission
+        if admission is not None:
+            youngest = max(ticket.created_at for ticket in batch.tickets)
+            admission.observe_queue_wait(exec_start - youngest)
+        link = pool._link(self.slot)
+        if link is None:
+            batch.cancelled = True
+            self._fail_with_spans(
+                batch,
+                WorkerCrashed(
+                    f"serving process slot {self.slot} is retired "
+                    "(restart budget exhausted, or the pool is stopping); "
+                    "its requests were failed over"
+                ),
+                traced,
+            )
+            if not pool._stopping.is_set():
+                self.retired = True
+            return
+        try:
+            entry = pool.registry.get(batch.model)
+            n_eff = 0
+            if admission is not None:
+                effective = admission.effective_passes(entry.n_samples)
+                if effective < entry.n_samples:
+                    n_eff = effective
+            stack_position = 0
+            if entry.share_weight_stacks and pool.stack_cache is not None:
+                stack_position = pool.stack_cache.ensure_position(
+                    entry.name, entry.version, entry.n_samples
+                )
+            payload = np.ascontiguousarray(
+                batch.stack(), dtype=np.float64
+            ).tobytes()
+        except Exception as error:  # noqa: BLE001 - pre-transport barrier
+            self._fail_with_spans(batch, error, traced)
+            return
+        try:
+            self._forward_evictions(link)
+            model_id = self._ensure_model(link, entry)
+            msg_id = link.next_msg_id
+            link.next_msg_id += 1
+            link.request.push(
+                MSG_REQUEST,
+                payload,
+                rows=len(batch),
+                cols=entry.in_features,
+                version=entry.version,
+                msg_id=msg_id,
+                aux1=n_eff,
+                aux2=stack_position,
+                aux3=model_id,
+                should_abort=link.abort.is_set,
+            )
+            message = self._await_response(link, msg_id)
+        except ConfigurationError as error:
+            # Payload exceeds the ring slot: a sizing error, not a crash.
+            self._fail_with_spans(batch, error, traced)
+            return
+        except ServingError:
+            # Torn ring, protocol desync, or a push timeout against a
+            # wedged consumer: the incarnation's transport is unusable.
+            pool._failover(self.slot, link, "wedged")
+            self._fail_crashed(batch, link, traced)
+            return
+        if message is None:
+            # _await_response unblocked on the abort flag: the incarnation
+            # is dead.  This thread popped the batch, so this thread fails
+            # it — the supervisor only swaps links (see _failover).
+            self._fail_crashed(batch, link, traced)
+            return
+        if message.kind == MSG_ERROR:
+            self._fail_with_spans(batch, _decode_error(message.payload), traced)
+            return
+        try:
+            probs = message.rows_array()
+            if probs.shape != (len(batch), entry.out_features):
+                raise RingIntegrityError(
+                    f"result for model {entry.name!r} has shape "
+                    f"{probs.shape}, expected ({len(batch)}, {entry.out_features})"
+                )
+        except RingIntegrityError as error:
+            self._fail_with_spans(batch, error, traced)
+            return
+        degraded = int(message.aux3) or None
+        pool.metrics.record_batch(len(batch))
+        if degraded is not None:
+            pool.metrics.record_degraded(len(batch))
+        if message.aux1:
+            pool.metrics.record_adaptive_totals(
+                int(message.aux1), int(message.aux2), entry.n_samples
+            )
+        if traced:
+            e_last = max(
+                (
+                    span.marks.get("enqueued", span.start)
+                    for span in (t.trace for t in batch.tickets)
+                    if span is not None
+                ),
+                default=exec_start,
+            )
+            e_last = min(e_last, exec_start)
+        respond_start = time.perf_counter()
+        infer_s = respond_start - exec_start
+        for row_index, ticket in enumerate(batch.tickets):
+            if batch.cancelled:
+                return  # failover already delivered typed errors
+            row = probs[row_index]
+            if pool.cache.capacity:
+                pool.cache.put(
+                    PredictionCache.key(
+                        entry.name, entry.version, entry.n_samples,
+                        batch.rows[row_index],
+                    ),
+                    row,
+                )
+            ticket.degraded = degraded
+            if not ticket.set_result(row):
+                continue
+            pool.metrics.record_latency(ticket.latency())
+            if traced and ticket.trace is not None:
+                span = ticket.trace
+                enqueued = min(span.marks.get("enqueued", span.start), e_last)
+                span.add_phase("batch_fill", e_last - enqueued)
+                span.add_phase("queue_wait", exec_start - e_last)
+                span.add_phase("inference", infer_s)
+                span.add_phase("respond", ticket.completed_at - respond_start)
+                span.batch_size = len(batch)
+                span.worker = self.slot
+                pool.tracer.finish(span, end=ticket.completed_at)
+
+
+class ProcessWorkerPool:
+    """Crash-isolated process workers behind the thread pool's interface.
+
+    Drop-in peer of :class:`~repro.serving.workers.WorkerPool`: same
+    constructor shape, same ``restarts``/``stop()`` surface, driven by the
+    same :class:`~repro.serving.batcher.MicroBatcher`.  Supervision is
+    always on (a process pool without liveness checks could hang the
+    service on a single SIGKILL); resilience knobs tune its thresholds.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batcher: MicroBatcher,
+        cache: PredictionCache,
+        metrics: ServiceMetrics,
+        workers: int = 2,
+        stack_cache: WeightStackCache | None = None,
+        tracer: Tracer | None = None,
+        resilience: ResilienceConfig | None = None,
+        admission: AdmissionController | None = None,
+        fault_plan: FaultPlan | None = None,
+        *,
+        ring_slots: int = 4,
+        ring_slot_bytes: int = 1 << 20,
+        start_method: str | None = None,
+    ) -> None:
+        check_positive("workers", workers)
+        self.registry = registry
+        self.batcher = batcher
+        self.cache = cache
+        self.metrics = metrics
+        self.stack_cache = stack_cache
+        self.tracer = tracer
+        self.resilience = resilience
+        self.admission = admission
+        self.size = int(workers)
+        self.ring_slots = int(ring_slots)
+        self.ring_slot_bytes = int(ring_slot_bytes)
+        #: Fault schedule as plain tuples — what every spawn receives.
+        self._plan_events = () if fault_plan is None else fault_plan.plain_events()
+        self._stack_capacity = stack_cache.capacity if stack_cache is not None else 8
+        self.batch_timeout_s = (
+            resilience.batch_timeout_s if resilience else _DEFAULT_BATCH_TIMEOUT_S
+        )
+        self.heartbeat_interval_s = (
+            resilience.heartbeat_interval_s if resilience else _DEFAULT_HEARTBEAT_S
+        )
+        self.max_restarts = (
+            resilience.max_restarts if resilience else _DEFAULT_MAX_RESTARTS
+        )
+        # "spawn" is the only start method that is safe regardless of the
+        # service's own threads (fork duplicates held locks); overridable
+        # for platforms where spawn is prohibitively slow.
+        self._mp = multiprocessing.get_context(start_method or "spawn")
+        self._lock = threading.Lock()
+        #: Signals link-state transitions (shares ``_lock`` so link reads
+        #: and restart waits serialize on one mutex).
+        self._restart_cv = threading.Condition(self._lock)
+        self._stopping = threading.Event()
+        self._stopped = False
+        self._restarts = 0
+        #: (name, version) -> (meta payload template args, owned segments).
+        self._bundles: dict[tuple[str, int], tuple[bytes, list]] = {}
+        self._model_ids: dict[str, int] = {}
+        self._retired_links: list[_WorkerLink] = []
+        self._final_counters: dict[str, float] | None = None
+        control = shared_memory.SharedMemory(
+            create=True,
+            size=self.size * _CTRL_FIELDS * 8,
+            name=_shm.segment_name("ctrl"),
+        )
+        control.buf[:] = b"\0" * (self.size * _CTRL_FIELDS * 8)
+        self._control_buf = control.buf
+        self._control = _shm.OwnedSegment(control)
+        self._links: list[_WorkerLink | None] = [
+            self._spawn(slot, 0) for slot in range(self.size)
+        ]
+        self.channels = [_ChannelWorker(self, slot) for slot in range(self.size)]
+        for channel in self.channels:
+            channel.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="bnn-serving-proc-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int, incarnation: int) -> _WorkerLink:
+        request = Ring.create(
+            slots=self.ring_slots, slot_bytes=self.ring_slot_bytes,
+            name_prefix=f"req{slot}",
+        )
+        response = Ring.create(
+            slots=self.ring_slots, slot_bytes=self.ring_slot_bytes,
+            name_prefix=f"resp{slot}",
+        )
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(
+                slot,
+                incarnation,
+                request.name,
+                response.name,
+                self._control.name,
+                self._plan_events,
+                self._stack_capacity,
+            ),
+            name=f"bnn-serving-proc-{slot}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerLink(slot, incarnation, process, request, response)
+
+    def _link(self, slot: int) -> _WorkerLink | None:
+        """The slot's current link; waits out an in-flight restart.
+
+        Returns ``None`` only for a genuinely retired slot (restart
+        budget exhausted) or a stopping pool — never for the transient
+        window while :meth:`_failover` is spawning a replacement.
+        """
+        with self._restart_cv:
+            while self._links[slot] is _RESTARTING and not self._stopping.is_set():
+                self._restart_cv.wait(_IDLE_POLL_S)
+            link = self._links[slot]
+            return link if isinstance(link, _WorkerLink) else None
+
+    def _model_id(self, name: str) -> int:
+        with self._lock:
+            return self._model_ids.setdefault(name, len(self._model_ids) + 1)
+
+    def _bundle_payload(self, entry: ModelEntry, model_id: int) -> bytes:
+        """The (cached) LOAD_MODEL payload for one ``(name, version)``.
+
+        Publishing a new version unlinks the superseded version's
+        segments — workers that already loaded the old version hold
+        private copies, and in-order rings guarantee any incarnation
+        sees the matching LOAD before requests against the new version.
+        """
+        key = (entry.name, entry.version)
+        with self._lock:
+            cached = self._bundles.get(key)
+            if cached is not None:
+                return cached[0]
+        payload, segments = export_entry_meta(entry, model_id)
+        with self._lock:
+            raced = self._bundles.get(key)
+            if raced is not None:
+                stale = segments  # another channel published first
+                payload = raced[0]
+            else:
+                self._bundles[key] = (payload, segments)
+                stale = []
+                for other in [k for k in self._bundles if k[0] == entry.name and k != key]:
+                    stale.extend(self._bundles.pop(other)[1])
+        for segment in stale:
+            segment.unlink()
+        return payload
+
+    # ------------------------------------------------------------------
+    @property
+    def restarts(self) -> int:
+        """Supervised restarts performed over the pool's lifetime."""
+        with self._lock:
+            return self._restarts
+
+    def incarnations(self) -> list[int | None]:
+        """Current incarnation per slot (``None`` for a retired slot)."""
+        with self._lock:
+            return [
+                link.incarnation if isinstance(link, _WorkerLink) else None
+                for link in self._links
+            ]
+
+    def live_workers(self) -> int:
+        with self._lock:
+            links = list(self._links)
+        return sum(
+            1
+            for link in links
+            if isinstance(link, _WorkerLink) and link.process.is_alive()
+        )
+
+    def process_counters(self) -> dict[str, float]:
+        """Cross-process progress counters summed over the control block."""
+        if self._final_counters is not None:
+            return dict(self._final_counters)
+        buf = self._control_buf
+        if buf is None:
+            return {name: 0.0 for name in _CTRL_COUNTER_NAMES}
+        return {
+            name: sum(_ctrl_get(buf, slot, field) for slot in range(self.size))
+            for name, field in _CTRL_COUNTER_NAMES.items()
+        }
+
+    def evict_model(self, name: str) -> None:
+        """Drop a model's shm bundles; queue worker-side eviction.
+
+        Worker notification is lazy (forwarded by each slot's channel
+        thread — the single ring producer — before its next dispatch);
+        correctness never depends on it because versions are monotonic
+        per name forever, but it releases worker memory.
+        """
+        with self._lock:
+            model_id = self._model_ids.get(name)
+            stale = []
+            for key in [k for k in self._bundles if k[0] == name]:
+                stale.extend(self._bundles.pop(key)[1])
+            if model_id is not None:
+                for link in self._links:
+                    if isinstance(link, _WorkerLink) and name in link.pushed:
+                        link.pending_evictions.append((name, model_id))
+        for segment in stale:
+            segment.unlink()
+
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stopping.wait(self.heartbeat_interval_s):
+            with self._lock:
+                snapshot = list(enumerate(self._links))
+            now = time.perf_counter()
+            for slot, link in snapshot:
+                if self._stopping.is_set():
+                    return
+                if not isinstance(link, _WorkerLink):
+                    continue  # retired, or a failover is mid-flight
+                if not link.process.is_alive():
+                    self._failover(slot, link, "died")
+                    continue
+                busy_since = self.channels[slot].busy_since
+                if busy_since is not None and now - busy_since > self.batch_timeout_s:
+                    self._failover(slot, link, "stalled")
+
+    def _failover(self, slot: int, link: _WorkerLink, cause: str) -> None:
+        """Kill an incarnation and restart the slot.
+
+        Idempotent per link (supervisor and channel threads can both
+        detect the same death); the replacement gets fresh rings and
+        ``incarnation + 1`` — its GRNG streams re-derive at the bumped
+        position, deterministic given the fault schedule.
+
+        Tickets are NOT resolved here: the slot's channel thread owns its
+        in-flight batch and fails it when the abort flag unblocks it.
+        (Resolving from this thread raced the channel moving on to its
+        next batch — the supervisor could fail a batch the replacement
+        worker would have served, or miss the dying one entirely.)
+        """
+        with self._restart_cv:
+            if self._links[slot] is not link:
+                return  # another thread already failed this incarnation over
+            self._links[slot] = _RESTARTING
+        link.abort.set()
+        if link.process.is_alive():
+            link.process.kill()
+        link.process.join(2.0)
+        restarted = False
+        with self._restart_cv:
+            self._retired_links.append(link)
+            if self._restarts < self.max_restarts and not self._stopping.is_set():
+                self._restarts += 1
+                restarted = True
+                self._links[slot] = self._spawn(slot, link.incarnation + 1)
+            else:
+                self._links[slot] = None
+            self._restart_cv.notify_all()
+        if restarted:
+            self.metrics.record_restart(cause)
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain, shut workers down, and unlink every shared segment.
+
+        Idempotent.  After it returns no batch ticket is left unresolved
+        and no shared-memory segment created by this pool survives
+        (``shm.live_segments()`` drops to whatever existed before the
+        pool) — crash, chaos, or clean run alike.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._stopping.set()
+        with self._restart_cv:
+            self._restart_cv.notify_all()  # release channels parked in _link
+        self._supervisor.join(timeout)
+        # close() refuses new submissions but leaves queued batches
+        # poppable: channel threads drain in-flight work before exiting.
+        self.batcher.close()
+        for channel in self.channels:
+            channel.join(timeout)
+        with self._lock:
+            links = [link for link in self._links if isinstance(link, _WorkerLink)]
+        # Channels are parked (or force-joined): this thread is now the
+        # sole ring producer, so pushing SHUTDOWN respects SPSC.
+        for link in links:
+            try:
+                link.request.push(
+                    MSG_SHUTDOWN, timeout_s=0.5, should_abort=link.abort.is_set
+                )
+            except ServingError:
+                pass  # wedged ring: the kill below covers it
+        for link in links:
+            link.process.join(timeout)
+            if link.process.is_alive():
+                link.process.kill()
+                link.process.join(2.0)
+        # No-hang sweep: a channel thread that outlived its join timeout
+        # must not leave tickets unresolved behind a stopped pool.
+        for channel in self.channels:
+            batch = channel.current_batch
+            if batch is None:
+                continue
+            batch.cancelled = True
+            _fail_batch_tickets(
+                batch,
+                WorkerCrashed(
+                    f"serving process slot {channel.slot} shut down holding "
+                    "an unfinished batch"
+                ),
+                self.metrics,
+                self.tracer,
+            )
+        self._final_counters = self.process_counters()
+        for link in links:
+            link.abort.set()
+            link.release()
+        with self._lock:
+            retired = list(self._retired_links)
+            self._retired_links.clear()
+            bundles = list(self._bundles.values())
+            self._bundles.clear()
+        for link in retired:
+            link.release()
+        for _payload, segments in bundles:
+            for segment in segments:
+                segment.unlink()
+        self._control_buf = None
+        self._control.unlink()

@@ -1,0 +1,308 @@
+"""Pickle-free fixed-slot shared-memory rings for process-mode serving.
+
+One :class:`Ring` is a single-producer / single-consumer message channel
+over a shared-memory segment: the service process writes request batches
+into a worker's request ring and the worker writes results into its
+response ring.  No pickle anywhere — every message is a fixed struct
+header plus raw payload bytes (float64 rows for batches, UTF-8 JSON for
+the model-load control messages).
+
+Torn-write detection
+--------------------
+Each slot carries a **sequence number** published *last*: the producer
+writes payload and header fields first, then stamps the slot with the
+message's monotonic sequence.  The consumer only accepts a slot whose
+sequence equals exactly the next expected value, then re-validates the
+payload against a CRC32 recorded in the header.  A worker SIGKILLed
+mid-publish leaves either an old sequence (the message simply never
+happened) or a stamped slot with a mismatched CRC — which raises a typed
+:class:`~repro.errors.RingIntegrityError`, never yields corrupt rows.
+A sequence *ahead* of the expected value means the producer lapped the
+consumer (impossible under the flow control below) or foreign writes
+landed in the segment; both are integrity errors too.
+
+Flow control is Disruptor-style: the consumer advances a cursor in the
+ring header after each pop; the producer refuses to write more than
+``slots`` messages ahead of that cursor (bounded wait, typed
+:class:`~repro.errors.ServingError` on timeout — the serving no-hang
+invariant applies to the rings too).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+import zlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RingIntegrityError, ServingError
+from repro.serving import shm as _shm
+
+__all__ = [
+    "RING_LAYOUT_VERSION",
+    "MSG_REQUEST",
+    "MSG_RESULT",
+    "MSG_ERROR",
+    "MSG_LOAD_MODEL",
+    "MSG_EVICT_MODEL",
+    "MSG_SHUTDOWN",
+    "Message",
+    "Ring",
+]
+
+#: Bump on any change to the header/slot structs below.
+RING_LAYOUT_VERSION = 1
+
+# Message kinds (the ``kind`` header field).
+MSG_REQUEST = 1      #: parent -> worker: one batch of float64 rows
+MSG_RESULT = 2       #: worker -> parent: probability rows for a batch
+MSG_ERROR = 3        #: worker -> parent: typed failure for a batch
+MSG_LOAD_MODEL = 4   #: parent -> worker: JSON model metadata (+ shm names)
+MSG_EVICT_MODEL = 5  #: parent -> worker: drop a model by name
+MSG_SHUTDOWN = 6     #: parent -> worker: drain and exit
+
+#: magic | layout version | slots | slot payload bytes | head | tail.
+_RING_HEADER = struct.Struct("<4sIIIQQ")
+_RING_MAGIC = b"RING"
+#: seq | kind | rows | cols | version | msg id | payload nbytes | crc32 |
+#: three signed aux fields (n_eff passes, stack position, adaptive sum).
+_SLOT_HEADER = struct.Struct("<QIIIIQQQqqq")
+
+#: Producer/consumer poll cadence while waiting on the peer.
+_POLL_S = 0.0005
+
+
+class Message:
+    """One decoded ring message (header fields + a private payload copy)."""
+
+    __slots__ = ("kind", "rows", "cols", "version", "msg_id", "payload",
+                 "aux1", "aux2", "aux3")
+
+    def __init__(self, kind, rows, cols, version, msg_id, payload, aux1, aux2, aux3):
+        self.kind = kind
+        self.rows = rows
+        self.cols = cols
+        self.version = version
+        self.msg_id = msg_id
+        self.payload = payload
+        self.aux1 = aux1
+        self.aux2 = aux2
+        self.aux3 = aux3
+
+    def rows_array(self) -> np.ndarray:
+        """Decode the payload as the ``(rows, cols)`` float64 matrix it is."""
+        expected = self.rows * self.cols * 8
+        if len(self.payload) != expected:
+            raise RingIntegrityError(
+                f"message declares {self.rows}x{self.cols} float64 rows "
+                f"({expected} bytes) but carries {len(self.payload)}"
+            )
+        return np.frombuffer(self.payload, dtype=np.float64).reshape(
+            self.rows, self.cols
+        )
+
+
+class Ring:
+    """SPSC message ring over one shared-memory segment.
+
+    Exactly one process calls :meth:`push` and exactly one calls
+    :meth:`pop`; each side keeps its own local cursor, and the shared
+    header's head/tail fields exist for flow control and diagnostics.
+    """
+
+    def __init__(self, segment, slots: int, slot_bytes: int, owner: bool) -> None:
+        self._segment = segment
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self.owner = owner
+        self._slot_stride = _SLOT_HEADER.size + slot_bytes
+        self._head = 0  # producer-local: messages pushed
+        self._tail = 0  # consumer-local: messages popped
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, *, slots: int = 4, slot_bytes: int = 1 << 20,
+               name_prefix: str = "ring") -> "Ring":
+        """Allocate a new ring segment (parent side, which owns unlink)."""
+        if slots < 2:
+            raise ConfigurationError(f"a ring needs >= 2 slots, got {slots}")
+        if slot_bytes < 64:
+            raise ConfigurationError(
+                f"slot_bytes must be >= 64, got {slot_bytes}"
+            )
+        size = _RING_HEADER.size + slots * (_SLOT_HEADER.size + slot_bytes)
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(
+            create=True, size=size, name=_shm.segment_name(name_prefix)
+        )
+        segment.buf[:size] = b"\0" * size
+        _RING_HEADER.pack_into(
+            segment.buf, 0, _RING_MAGIC, RING_LAYOUT_VERSION, slots, slot_bytes, 0, 0
+        )
+        ring = cls(_shm.OwnedSegment(segment), slots, slot_bytes, owner=True)
+        ring._buf = segment.buf
+        ring._raw = segment
+        return ring
+
+    @classmethod
+    def attach(cls, name: str) -> "Ring":
+        """Map an existing ring by segment name (worker side)."""
+        segment = _shm.attach_raw(name)
+        if segment.size < _RING_HEADER.size:
+            segment.close()
+            raise RingIntegrityError(
+                f"segment {name!r} is too short to hold a ring header"
+            )
+        magic, layout, slots, slot_bytes, _head, _tail = _RING_HEADER.unpack_from(
+            segment.buf, 0
+        )
+        if magic != _RING_MAGIC:
+            segment.close()
+            raise RingIntegrityError(
+                f"segment {name!r} is not a ring (magic {magic!r})"
+            )
+        if layout != RING_LAYOUT_VERSION:
+            segment.close()
+            raise RingIntegrityError(
+                f"ring {name!r} uses layout version {layout}, this build "
+                f"reads version {RING_LAYOUT_VERSION}"
+            )
+        expected = _RING_HEADER.size + slots * (_SLOT_HEADER.size + slot_bytes)
+        if segment.size < expected:
+            segment.close()
+            raise RingIntegrityError(
+                f"ring {name!r} declares {slots}x{slot_bytes}-byte slots but "
+                f"the segment holds only {segment.size} bytes"
+            )
+        ring = cls(segment, slots, slot_bytes, owner=False)
+        ring._buf = segment.buf
+        ring._raw = segment
+        return ring
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    # ------------------------------------------------------------------
+    def _slot_offset(self, index: int) -> int:
+        return _RING_HEADER.size + (index % self.slots) * self._slot_stride
+
+    def _read_shared_tail(self) -> int:
+        return struct.unpack_from("<Q", self._buf, _RING_HEADER.size - 8)[0]
+
+    def _write_shared_tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, _RING_HEADER.size - 8, value)
+
+    def _write_shared_head(self, value: int) -> None:
+        struct.pack_into("<Q", self._buf, _RING_HEADER.size - 16, value)
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        kind: int,
+        payload: bytes = b"",
+        *,
+        rows: int = 0,
+        cols: int = 0,
+        version: int = 0,
+        msg_id: int = 0,
+        aux1: int = 0,
+        aux2: int = 0,
+        aux3: int = 0,
+        timeout_s: float = 5.0,
+        should_abort=None,
+    ) -> None:
+        """Publish one message; blocks (bounded) while the ring is full.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the payload
+        exceeds the slot capacity and :class:`~repro.errors.ServingError`
+        when the consumer made no room within ``timeout_s`` (or
+        ``should_abort()`` turned true).
+        """
+        if len(payload) > self.slot_bytes:
+            raise ConfigurationError(
+                f"message payload of {len(payload)} bytes exceeds the ring's "
+                f"slot capacity of {self.slot_bytes}; raise "
+                "ServiceConfig.ring_slot_bytes"
+            )
+        deadline = time.perf_counter() + timeout_s
+        while self._head - self._read_shared_tail() >= self.slots:
+            if should_abort is not None and should_abort():
+                raise ServingError("ring push aborted: peer is being torn down")
+            if time.perf_counter() > deadline:
+                raise ServingError(
+                    f"ring full for {timeout_s}s ({self.slots} unconsumed "
+                    "messages); the consumer is wedged or dead"
+                )
+            time.sleep(_POLL_S)
+        offset = self._slot_offset(self._head)
+        body = offset + _SLOT_HEADER.size
+        self._buf[body:body + len(payload)] = payload
+        # Header first with a zero sequence, then the real sequence as the
+        # publish stamp: a reader can only observe seq == head+1 after every
+        # other field (and the payload) landed.
+        _SLOT_HEADER.pack_into(
+            self._buf, offset,
+            0, kind, rows, cols, version, msg_id,
+            len(payload), zlib.crc32(payload), aux1, aux2, aux3,
+        )
+        struct.pack_into("<Q", self._buf, offset, self._head + 1)
+        self._head += 1
+        self._write_shared_head(self._head)
+
+    def pop(self, timeout_s: float = 0.05, should_abort=None) -> Message | None:
+        """Consume the next message, or ``None`` after ``timeout_s``.
+
+        Validates the slot's sequence and payload CRC; a stamped slot that
+        fails either check raises
+        :class:`~repro.errors.RingIntegrityError` (torn write — detected,
+        never silently consumed).
+        """
+        expected = self._tail + 1
+        offset = self._slot_offset(self._tail)
+        deadline = time.perf_counter() + timeout_s
+        while True:
+            seq = struct.unpack_from("<Q", self._buf, offset)[0]
+            if seq == expected:
+                break
+            if seq > expected and seq != 0:
+                raise RingIntegrityError(
+                    f"ring slot holds sequence {seq}, expected {expected} — "
+                    "the producer lapped the consumer or the slot was torn"
+                )
+            if should_abort is not None and should_abort():
+                return None
+            if time.perf_counter() > deadline:
+                return None
+            time.sleep(_POLL_S)
+        (_seq, kind, rows, cols, version, msg_id, nbytes, crc,
+         aux1, aux2, aux3) = _SLOT_HEADER.unpack_from(self._buf, offset)
+        if nbytes > self.slot_bytes:
+            raise RingIntegrityError(
+                f"ring slot declares {nbytes} payload bytes in a "
+                f"{self.slot_bytes}-byte slot — torn write detected"
+            )
+        body = offset + _SLOT_HEADER.size
+        payload = bytes(self._buf[body:body + nbytes])
+        if zlib.crc32(payload) != crc:
+            raise RingIntegrityError(
+                "ring slot payload failed its CRC — torn write detected, "
+                "refusing to consume it"
+            )
+        self._tail += 1
+        self._write_shared_tail(self._tail)
+        return Message(kind, rows, cols, version, msg_id, payload, aux1, aux2, aux3)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this side's mapping (and unlink when this side owns it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        if self.owner:
+            self._segment.unlink()
+        else:
+            self._segment.close()

@@ -49,6 +49,7 @@ from repro.serving.resilience import (
     FaultPlan,
     ResilienceConfig,
 )
+from repro.serving.procpool import ProcessWorkerPool
 from repro.serving.weight_stack import WeightStackCache
 from repro.serving.workers import ServingWorker, WorkerPool
 
@@ -66,8 +67,21 @@ class ServiceConfig:
     max_wait_ms: float = 2.0
     #: Bounded queue size; beyond it ``submit`` raises ``ServiceOverloaded``.
     queue_capacity: int = 1024
-    #: Background serving threads; 0 = synchronous caller-driven mode.
+    #: Background serving workers; 0 = synchronous caller-driven mode.
     workers: int = 2
+    #: ``"thread"`` (default, bit-for-bit the historical stack) or
+    #: ``"process"`` — crash-isolated OS-process workers over shared
+    #: memory (:mod:`repro.serving.procpool`).  Process mode requires
+    #: ``workers >= 1``.
+    worker_mode: str = "thread"
+    #: Process-mode start method (``None`` = ``"spawn"``, the only method
+    #: safe regardless of the service's own threads).
+    process_start_method: str | None = None
+    #: Process-mode ring depth (messages in flight per worker direction).
+    ring_slots: int = 4
+    #: Process-mode ring slot payload capacity; must fit one batch of
+    #: ``max_batch`` float64 rows (and the result rows coming back).
+    ring_slot_bytes: int = 1 << 20
     #: Prediction-cache rows; 0 disables caching.
     cache_capacity: int = 4096
     #: Shared sampled weight-stack ensembles kept live; 0 makes any
@@ -89,6 +103,24 @@ class ServiceConfig:
         if self.trace_capacity < 0:
             raise ConfigurationError(
                 f"trace_capacity must be >= 0, got {self.trace_capacity}"
+            )
+        if self.worker_mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"unknown worker_mode {self.worker_mode!r}; "
+                "expected 'thread' or 'process'"
+            )
+        if self.worker_mode == "process" and self.workers == 0:
+            raise ConfigurationError(
+                "worker_mode='process' needs workers >= 1 (the synchronous "
+                "mode runs on the caller's thread by definition)"
+            )
+        if self.ring_slots < 2:
+            raise ConfigurationError(
+                f"ring_slots must be >= 2, got {self.ring_slots}"
+            )
+        if self.ring_slot_bytes < 64:
+            raise ConfigurationError(
+                f"ring_slot_bytes must be >= 64, got {self.ring_slot_bytes}"
             )
 
 
@@ -129,8 +161,26 @@ class BnnService:
             max_wait_ms=self.config.max_wait_ms,
             capacity=self.config.queue_capacity,
         )
-        if self.config.workers > 0:
-            self._pool: WorkerPool | None = WorkerPool(
+        if self.config.worker_mode == "process":
+            self._pool: "WorkerPool | ProcessWorkerPool | None" = ProcessWorkerPool(
+                self.registry,
+                self.batcher,
+                self.cache,
+                self.metrics,
+                workers=self.config.workers,
+                stack_cache=self.stack_cache,
+                tracer=self.tracer,
+                resilience=self.config.resilience,
+                admission=self.admission,
+                fault_plan=fault_plan,
+                ring_slots=self.config.ring_slots,
+                ring_slot_bytes=self.config.ring_slot_bytes,
+                start_method=self.config.process_start_method,
+            )
+            self.metrics.attach_process_pool(self._pool)
+            self._sync_worker = None
+        elif self.config.workers > 0:
+            self._pool = WorkerPool(
                 self.registry,
                 self.batcher,
                 self.cache,
@@ -208,6 +258,11 @@ class BnnService:
         self.cache.invalidate_model(name)
         self.stack_cache.invalidate_model(name)
         self._stale_versions.pop(name, None)
+        if isinstance(self._pool, ProcessWorkerPool):
+            # Release the parent-side shm bundles and (lazily) the
+            # worker-side copies; versions are monotonic per name, so
+            # correctness never depends on the notification landing.
+            self._pool.evict_model(name)
 
     def refresh_weight_stacks(self, name: str) -> int:
         """Advance a shared-stack model to a fresh sampled ensemble.
@@ -501,6 +556,7 @@ class BnnService:
     def stats(self) -> dict[str, object]:
         """Metrics snapshot plus live queue/cache/registry gauges."""
         snap = self.metrics.snapshot()
+        snap["worker_mode"] = self.config.worker_mode if self.config.workers else "sync"
         snap["queue_pending"] = self.batcher.pending()
         snap["cache_entries"] = len(self.cache)
         snap["stack_cache_entries"] = len(self.stack_cache)
@@ -508,7 +564,12 @@ class BnnService:
         return snap
 
     def close(self) -> None:
-        """Stop accepting work and shut the worker pool down."""
+        """Stop accepting work and shut the worker pool down.
+
+        Idempotent: in-flight batches drain, every held ticket resolves
+        (result or typed error), and — in process mode — every shared-
+        memory segment the service created is unlinked.
+        """
         if self._closed:
             return
         self._closed = True
@@ -517,6 +578,10 @@ class BnnService:
         else:
             self.flush()
             self.batcher.close()
+
+    def stop(self) -> None:
+        """Alias of :meth:`close` (the worker pools' verb); idempotent."""
+        self.close()
 
     def __enter__(self) -> "BnnService":
         return self

@@ -1,0 +1,275 @@
+"""Checksummed shared-memory segments for the process-mode serving tier.
+
+Process workers (:mod:`repro.serving.procpool`) cannot share Python
+objects with the service process, so posterior tensors travel through
+:class:`multiprocessing.shared_memory.SharedMemory` segments.  Every
+segment written here carries a fixed header the attaching side validates
+**on every attach**:
+
+* a magic marker and a layout version (so a future layout change is a
+  typed error, not a misread tensor);
+* the array's dtype string and shape;
+* a content digest (BLAKE2b-64) over the payload bytes.
+
+A mismatch anywhere raises :class:`~repro.errors.ShmIntegrityError` — a
+torn publish, a segment left behind by a dead incarnation, or foreign
+memory under a recycled name must never be consumed as model weights.
+
+Leak discipline
+---------------
+Segment names are OS-global state: a leaked segment survives the process
+that created it.  Ownership is therefore strictly parent-side: the
+creating process tracks every live segment in a module registry and is
+the only one to ``unlink``.  Three layers guarantee zero leaks:
+
+* every :class:`OwnedSegment` carries a ``weakref.finalize`` that unlinks
+  it when the owner is garbage collected;
+* the pool's ``stop()``/failover paths unlink deterministically;
+* an ``atexit`` sweep unlinks anything still registered at interpreter
+  exit (a crashed test must not leave ``psm_*`` segments behind).
+
+Attaching processes only ``close()`` after copying.  On Python < 3.13
+``SharedMemory()`` registers *every* construction with the resource
+tracker, but ``multiprocessing`` children share the parent's tracker
+process and its registry is a per-name set — the worker's duplicate
+registration is a no-op and the parent's ``unlink()`` deregisters the
+name exactly once.  Attachers must *not* send an unregister of their own:
+with a shared tracker that would cancel the parent's registration and
+turn every later unlink into tracker noise.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import secrets
+import struct
+import threading
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShmIntegrityError
+
+__all__ = [
+    "HEADER_LAYOUT_VERSION",
+    "OwnedSegment",
+    "publish_array",
+    "attach_array",
+    "attach_raw",
+    "live_segments",
+    "sweep_all",
+]
+
+#: Bump on any change to the header struct below.
+HEADER_LAYOUT_VERSION = 1
+
+_MAGIC = b"RPRO"
+#: magic | layout version | flags | dtype string | ndim | shape[8] |
+#: payload nbytes | BLAKE2b-64 content digest.
+_HEADER = struct.Struct("<4sHH16sI8QQQ")
+_MAX_NDIM = 8
+
+# ----------------------------------------------------------------------
+# Parent-side live-segment registry (the leak-sweep source of truth)
+# ----------------------------------------------------------------------
+_registry_lock = threading.Lock()
+_live: dict[str, shared_memory.SharedMemory] = {}
+
+
+def live_segments() -> list[str]:
+    """Names of segments created by this process and not yet unlinked."""
+    with _registry_lock:
+        return sorted(_live)
+
+
+def _unlink_by_name(name: str) -> None:
+    """Idempotent close+unlink of a registered segment (finalizer body)."""
+    with _registry_lock:
+        segment = _live.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except OSError:  # pragma: no cover - close on an already-dead mapping
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a race with the OS
+        pass
+
+
+def sweep_all() -> int:
+    """Unlink every still-registered segment; returns how many were swept.
+
+    Registered with :mod:`atexit` so an aborted run cannot leak ``psm_*``
+    segments; also the test hook for the leak-sweep assertions.
+    """
+    swept = 0
+    for name in live_segments():
+        _unlink_by_name(name)
+        swept += 1
+    return swept
+
+
+atexit.register(sweep_all)
+
+
+class OwnedSegment:
+    """Handle to a parent-owned shared-memory segment.
+
+    ``unlink()`` is idempotent and also runs via ``weakref.finalize`` when
+    the handle is garbage collected, so dropping the last reference can
+    never leak the OS object.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self.name = segment.name
+        self.nbytes = segment.size
+        with _registry_lock:
+            _live[segment.name] = segment
+        self._finalizer = weakref.finalize(self, _unlink_by_name, segment.name)
+
+    def unlink(self) -> None:
+        """Close and unlink the segment now (safe to call repeatedly)."""
+        self._finalizer()
+
+    @property
+    def linked(self) -> bool:
+        return self._finalizer.alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.linked else "unlinked"
+        return f"OwnedSegment({self.name!r}, {self.nbytes} bytes, {state})"
+
+
+# ----------------------------------------------------------------------
+# Publish / attach
+# ----------------------------------------------------------------------
+def _digest(payload: memoryview | bytes) -> int:
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "little"
+    )
+
+
+def segment_name(prefix: str) -> str:
+    """A collision-resistant segment name (``psm_``-style, parent-chosen).
+
+    The random suffix (not a counter) keeps names from colliding with
+    segments a crashed previous run failed to sweep.
+    """
+    return f"{prefix}-{secrets.token_hex(6)}"
+
+
+def publish_array(array: np.ndarray, *, name_prefix: str = "repro") -> OwnedSegment:
+    """Copy ``array`` into a new checksummed shared-memory segment.
+
+    The caller (always the service process) owns the returned handle; the
+    payload is an immutable snapshot — publishing copies, so later writer-
+    side mutation cannot tear a reader.
+    """
+    array = np.ascontiguousarray(array)
+    if array.ndim > _MAX_NDIM:
+        raise ConfigurationError(
+            f"cannot publish a {array.ndim}-d array (max {_MAX_NDIM} dims)"
+        )
+    dtype_bytes = array.dtype.str.encode("ascii")
+    if len(dtype_bytes) > 16:
+        raise ConfigurationError(
+            f"dtype string {array.dtype.str!r} too long for the segment header"
+        )
+    shape = tuple(array.shape) + (0,) * (_MAX_NDIM - array.ndim)
+    payload = array.tobytes()
+    segment = shared_memory.SharedMemory(
+        create=True, size=_HEADER.size + max(1, len(payload)),
+        name=segment_name(name_prefix),
+    )
+    segment.buf[_HEADER.size:_HEADER.size + len(payload)] = payload
+    _HEADER.pack_into(
+        segment.buf, 0,
+        _MAGIC, HEADER_LAYOUT_VERSION, 0, dtype_bytes.ljust(16, b"\0"),
+        array.ndim, *shape, len(payload), _digest(payload),
+    )
+    return OwnedSegment(segment)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise ShmIntegrityError(
+            f"shared-memory segment {name!r} does not exist (already "
+            "unlinked, or never published)"
+        ) from None
+    # SharedMemory() re-registers the name with the resource tracker
+    # (until 3.13's track= parameter).  Worker processes share the
+    # parent's tracker, whose registry is a set — the duplicate is
+    # harmless and the parent's unlink() clears it, so no unregister
+    # here (see the module docstring's leak-discipline section).
+    return segment
+
+
+def attach_array(name: str) -> np.ndarray:
+    """Validate ``name``'s header and return a private copy of its array.
+
+    Every check failure is a typed :class:`~repro.errors.ShmIntegrityError`;
+    the segment is closed (never unlinked — the parent owns it) before
+    returning.
+    """
+    segment = _attach(name)
+    try:
+        if segment.size < _HEADER.size:
+            raise ShmIntegrityError(
+                f"segment {name!r} is shorter than the layout header "
+                f"({segment.size} < {_HEADER.size} bytes)"
+            )
+        (magic, layout, _flags, dtype_bytes, ndim, *rest) = _HEADER.unpack_from(
+            segment.buf, 0
+        )
+        shape8, nbytes, digest = rest[:_MAX_NDIM], rest[_MAX_NDIM], rest[_MAX_NDIM + 1]
+        if magic != _MAGIC:
+            raise ShmIntegrityError(
+                f"segment {name!r} has no repro header (magic {magic!r})"
+            )
+        if layout != HEADER_LAYOUT_VERSION:
+            raise ShmIntegrityError(
+                f"segment {name!r} uses layout version {layout}, this build "
+                f"reads version {HEADER_LAYOUT_VERSION}"
+            )
+        if not 0 <= ndim <= _MAX_NDIM:
+            raise ShmIntegrityError(
+                f"segment {name!r} header declares {ndim} dims (max {_MAX_NDIM})"
+            )
+        try:
+            dtype = np.dtype(dtype_bytes.rstrip(b"\0").decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as error:
+            raise ShmIntegrityError(
+                f"segment {name!r} header has an unreadable dtype"
+            ) from error
+        shape = tuple(int(dim) for dim in shape8[:ndim])
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+        if nbytes != expected or segment.size < _HEADER.size + nbytes:
+            raise ShmIntegrityError(
+                f"segment {name!r} header is inconsistent: {nbytes} payload "
+                f"bytes for shape {shape} dtype {dtype} in a "
+                f"{segment.size}-byte segment"
+            )
+        payload = bytes(segment.buf[_HEADER.size:_HEADER.size + nbytes])
+        if _digest(payload) != digest:
+            raise ShmIntegrityError(
+                f"segment {name!r} failed its content digest — torn or "
+                "corrupted publish; refusing to load it as tensor data"
+            )
+        return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+    finally:
+        segment.close()
+
+
+def attach_raw(name: str) -> shared_memory.SharedMemory:
+    """Attach without validation (tests corrupt headers through this).
+
+    The caller must ``close()`` the returned segment; ownership (unlink)
+    stays with the publisher.
+    """
+    return _attach(name)

@@ -101,3 +101,126 @@ class TestSampleExportSatellite:
         assert len(rows) == stats.completed
         assert all(set(r) == {"submit_ts", "latency_s"} for r in rows)
         assert [r["latency_s"] for r in rows] == stats.latencies_s
+
+
+# ----------------------------------------------------------------------
+# Frozen arrival traces (generate_trace / trace_replay)
+# ----------------------------------------------------------------------
+class TestTraceGeneration:
+    def test_same_seed_same_knobs_is_the_identical_schedule(self):
+        import pytest
+
+        from repro.serving.loadgen import generate_trace
+
+        first = generate_trace(5, rate_rps=40.0, duration_s=2.0, image_count=4)
+        second = generate_trace(5, rate_rps=40.0, duration_s=2.0, image_count=4)
+        assert first == second  # frozen dataclass: full tuple equality
+        assert len(first) > 0
+        assert generate_trace(6, rate_rps=40.0, duration_s=2.0) != first
+
+    def test_arrivals_are_sorted_inside_the_duration(self):
+        from repro.serving.loadgen import generate_trace
+
+        plan = generate_trace(1, rate_rps=30.0, duration_s=3.0, image_count=5)
+        offsets = [offset for offset, _, _ in plan.arrivals]
+        assert offsets == sorted(offsets)
+        assert all(0.0 < offset <= 3.0 for offset in offsets)
+        assert all(0 <= index < 5 for _, index, _ in plan.arrivals)
+
+    def test_burst_pattern_concentrates_arrivals_in_the_windows(self):
+        from repro.serving.loadgen import generate_trace
+
+        plan = generate_trace(
+            2,
+            rate_rps=50.0,
+            duration_s=4.0,
+            pattern="burst",
+            burst_multiplier=8.0,
+            burst_period_s=1.0,
+            burst_width_s=0.25,
+        )
+        in_window = sum(1 for t, _, _ in plan.arrivals if (t % 1.0) < 0.25)
+        # Windows cover 25% of time but 8x rate: expect the majority inside.
+        assert in_window > len(plan) / 2
+
+    def test_diurnal_pattern_troughs_at_the_edges(self):
+        from repro.serving.loadgen import generate_trace
+
+        plan = generate_trace(
+            3,
+            rate_rps=60.0,
+            duration_s=4.0,
+            pattern="diurnal",
+            diurnal_floor=0.1,
+        )
+        edges = sum(1 for t, _, _ in plan.arrivals if t < 1.0 or t > 3.0)
+        middle = len(plan) - edges
+        assert middle > edges  # sinusoid peaks mid-run
+
+    def test_validation_is_typed(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.serving.loadgen import generate_trace
+
+        with pytest.raises(ConfigurationError, match="pattern"):
+            generate_trace(0, rate_rps=10.0, duration_s=1.0, pattern="square")
+        with pytest.raises(ConfigurationError, match="burst_multiplier"):
+            generate_trace(0, rate_rps=10.0, duration_s=1.0, burst_multiplier=0.5)
+        with pytest.raises(ConfigurationError, match="burst_width_s"):
+            generate_trace(0, rate_rps=10.0, duration_s=1.0, burst_width_s=2.0)
+        with pytest.raises(ConfigurationError, match="diurnal_floor"):
+            generate_trace(
+                0, rate_rps=10.0, duration_s=1.0, pattern="diurnal", diurnal_floor=0.0
+            )
+        with pytest.raises(ConfigurationError, match="slo_weights"):
+            generate_trace(0, rate_rps=10.0, duration_s=1.0, slo_weights={})
+
+
+class TestTraceReplay:
+    def test_replay_offers_the_whole_plan_and_accounts_for_it(self):
+        from repro.serving.loadgen import generate_trace, trace_replay
+
+        plan = generate_trace(4, rate_rps=60.0, duration_s=1.0, image_count=4)
+        with _service() as service:
+            stats = trace_replay(service, "m", X, plan, pace=False)
+        assert stats.offered == len(plan)
+        assert stats.completed + stats.dropped + stats.shed == stats.offered
+        assert stats.pattern == "trace-replay[burst seed=4]"
+
+    def test_unpaced_replays_are_bit_identical_across_services(self):
+        import numpy as np
+
+        from repro.serving.loadgen import generate_trace, trace_replay
+
+        plan = generate_trace(8, rate_rps=40.0, duration_s=1.0, image_count=4)
+
+        def run():
+            config = ServiceConfig(
+                workers=0, cache_capacity=0, max_batch=8, max_wait_ms=0.0
+            )
+            service = BnnService(config=config)
+            network = BayesianNetwork((6, 5, 3), seed=0, initial_sigma=0.05)
+            service.register_network(
+                "m", network, n_samples=2, grng="numpy", seed=0,
+                share_weight_stacks=True,
+            )
+            with service:
+                stats = trace_replay(service, "m", X, plan, pace=False)
+            return stats
+
+        first, second = run(), run()
+        assert first.completed == second.completed == len(plan)
+        assert first.latencies_s is not None
+
+    def test_replay_validates_images(self):
+        import numpy as np
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.serving.loadgen import generate_trace, trace_replay
+
+        plan = generate_trace(0, rate_rps=10.0, duration_s=0.5)
+        with _service() as service:
+            with pytest.raises(ConfigurationError, match="images"):
+                trace_replay(service, "m", np.zeros((0, 6)), plan)

@@ -1,0 +1,331 @@
+"""Process-mode serving: equivalence, crash isolation, determinism, leaks.
+
+The tentpole promises of the process tier, end to end through the real
+``spawn`` seam:
+
+* ``worker_mode="process"`` is bit-for-bit the synchronous/threaded
+  engine on identical seeds (float and quantized models alike);
+* a SIGKILLed or wedged worker resolves every held ticket with a typed
+  :class:`~repro.errors.WorkerCrashed`, the supervisor restarts the slot
+  with a bumped incarnation, and no request ever hangs;
+* two identical runs under the same :class:`FaultPlan` produce identical
+  outputs, identical failure sets, and identical restart counts;
+* no shared-memory segment survives ``stop()`` — including after
+  abnormal worker death mid-batch.
+
+Spawn startup costs ~1s per service on this box, so each test spins up
+the fewest services that still pin its invariant.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bnn.bayesian import BayesianNetwork
+from repro.errors import (
+    ConfigurationError,
+    ServingError,
+    UnknownModelError,
+    WorkerCrashed,
+)
+from repro.serving import (
+    BnnService,
+    FaultEvent,
+    FaultPlan,
+    ModelRegistry,
+    ResilienceConfig,
+    ServiceConfig,
+)
+from repro.serving import shm
+from repro.serving.procpool import (
+    _decode_error,
+    _encode_error,
+    entry_from_meta,
+    export_entry_meta,
+)
+
+IN, OUT = 12, 4
+_SHM_PREFIXES = ("req", "resp", "ctrl-", "model-", "psm_")
+
+
+@pytest.fixture()
+def network():
+    return BayesianNetwork((IN, 8, OUT), seed=0, initial_sigma=0.04)
+
+
+@pytest.fixture()
+def images():
+    return np.random.default_rng(7).random((16, IN))
+
+
+def make_service(network, *, workers, worker_mode="process", **overrides):
+    config = dict(
+        workers=workers,
+        worker_mode=worker_mode,
+        max_batch=8,
+        max_wait_ms=1.0,
+        cache_capacity=0,
+    )
+    config.update(overrides)
+    service = BnnService(ModelRegistry(), ServiceConfig(**config))
+    service.register_network(
+        "m", network, n_samples=5, seed=3, share_weight_stacks=True
+    )
+    return service
+
+
+def os_shm_entries():
+    base = pathlib.Path("/dev/shm")
+    if not base.is_dir():  # pragma: no cover - non-Linux fallback
+        return set()
+    return {p.name for p in base.iterdir() if p.name.startswith(_SHM_PREFIXES)}
+
+
+# ----------------------------------------------------------------------
+# Transport codecs (no processes involved)
+# ----------------------------------------------------------------------
+class TestTransportCodecs:
+    def test_error_codec_round_trips_typed_errors(self):
+        wire = _encode_error(UnknownModelError("no model 'x'"))
+        decoded = _decode_error(wire)
+        assert isinstance(decoded, UnknownModelError)
+        assert "no model 'x'" in str(decoded)
+
+    def test_unknown_error_types_degrade_to_serving_error(self):
+        decoded = _decode_error(b"TotallyMadeUpError: boom")
+        assert type(decoded) is ServingError
+        assert "boom" in str(decoded)
+
+    def test_float_entry_meta_round_trip_is_bit_exact(self, network):
+        registry = ModelRegistry()
+        entry = registry.register_network("m", network, n_samples=5, seed=3)
+        payload, segments = export_entry_meta(entry, model_id=1)
+        try:
+            import json
+
+            rebuilt = entry_from_meta(json.loads(payload.decode("utf-8")))
+            assert rebuilt.version == entry.version
+            assert rebuilt.kind == "float"
+            for ours, theirs in zip(network.layers, rebuilt.network.layers):
+                for key in ("mu_weights", "rho_weights", "mu_bias", "rho_bias"):
+                    assert np.array_equal(getattr(ours, key), getattr(theirs, key))
+        finally:
+            for segment in segments:
+                segment.unlink()
+
+    def test_quantized_entry_meta_round_trip_is_verbatim(self, network):
+        registry = ModelRegistry()
+        entry = registry.register_quantized(
+            "hw", network.posterior_parameters(), bit_length=8, n_samples=4
+        )
+        payload, segments = export_entry_meta(entry, model_id=2)
+        try:
+            import json
+
+            rebuilt = entry_from_meta(json.loads(payload.decode("utf-8")))
+            assert rebuilt.kind == "quantized"
+            assert rebuilt.bit_length == 8
+            for ours, theirs in zip(entry.posterior, rebuilt.posterior):
+                assert set(ours) == set(theirs)
+                for key in ours:
+                    assert np.array_equal(ours[key], theirs[key])
+        finally:
+            for segment in segments:
+                segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the in-process engine
+# ----------------------------------------------------------------------
+class TestProcessEquivalence:
+    def test_bit_for_bit_matches_sync_mode_across_batches(self, network, images):
+        with make_service(network, workers=0, worker_mode="thread") as sync:
+            ref_first = sync.predict_many("m", images[:8])
+            ref_second = sync.predict_many("m", images[8:])
+        with make_service(network, workers=1) as proc:
+            first = proc.predict_many("m", images[:8])
+            second = proc.predict_many("m", images[8:])
+        assert np.array_equal(first, ref_first)
+        assert np.array_equal(second, ref_second)
+
+    def test_quantized_model_matches_sync_mode(self, network, images):
+        posterior = network.posterior_parameters()
+
+        def serve(workers, worker_mode):
+            service = BnnService(
+                ModelRegistry(),
+                ServiceConfig(
+                    workers=workers,
+                    worker_mode=worker_mode,
+                    max_batch=8,
+                    cache_capacity=0,
+                ),
+            )
+            service.register_quantized(
+                "hw",
+                posterior,
+                bit_length=8,
+                n_samples=4,
+                seed=11,
+                share_weight_stacks=True,
+            )
+            with service:
+                return service.predict_many("hw", images[:8])
+
+        assert np.array_equal(serve(1, "process"), serve(0, "thread"))
+
+    def test_reregistration_propagates_to_process_workers(self, images):
+        net_a = BayesianNetwork((IN, 8, OUT), seed=0, initial_sigma=0.04)
+        net_b = BayesianNetwork((IN, 8, OUT), seed=9, initial_sigma=0.06)
+
+        def serve(workers, worker_mode):
+            service = make_service(net_a, workers=workers, worker_mode=worker_mode)
+            with service:
+                before = service.predict_many("m", images[:8])
+                service.register_network(
+                    "m", net_b, n_samples=5, seed=3, share_weight_stacks=True
+                )
+                after = service.predict_many("m", images[:8])
+            return before, after
+
+        proc_before, proc_after = serve(1, "process")
+        sync_before, sync_after = serve(0, "thread")
+        assert np.array_equal(proc_before, sync_before)
+        assert np.array_equal(proc_after, sync_after)
+        assert not np.array_equal(proc_before, proc_after)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: context manager, idempotent stop, config validation
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    @pytest.mark.parametrize(
+        ("workers", "worker_mode"), [(2, "thread"), (1, "process")]
+    )
+    def test_context_manager_and_idempotent_stop(self, network, images, workers, worker_mode):
+        before = os_shm_entries()
+        with make_service(network, workers=workers, worker_mode=worker_mode) as service:
+            assert service.predict_many("m", images[:4]).shape == (4, OUT)
+        service.stop()
+        service.stop()
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.submit("m", images[0])
+        assert shm.live_segments() == []
+        assert os_shm_entries() - before == set()
+
+    def test_worker_mode_is_validated(self):
+        with pytest.raises(ConfigurationError, match="worker_mode"):
+            ServiceConfig(worker_mode="fibers")
+        with pytest.raises(ConfigurationError, match="workers"):
+            ServiceConfig(worker_mode="process", workers=0)
+        with pytest.raises(ConfigurationError, match="ring_slots"):
+            ServiceConfig(worker_mode="process", workers=1, ring_slots=1)
+
+    def test_stats_name_the_worker_mode(self, network, images):
+        with make_service(network, workers=1) as service:
+            service.predict_many("m", images[:8])
+            snap = service.stats()
+            assert snap["worker_mode"] == "process"
+            assert snap["process_workers_live"] == 1
+            assert snap["process_batches_done"] >= 1
+            assert snap["process_rows_done"] == 8
+            assert "process pool" in service.metrics.render()
+
+    def test_undersized_ring_fails_tickets_typed_not_hung(self, network, images):
+        # 64-byte slots cannot carry even the LOAD_MODEL metadata, so the
+        # dispatch must surface ConfigurationError on the ticket — sizing
+        # bugs are the operator's to fix, not a crash loop.
+        with make_service(network, workers=1, ring_slot_bytes=64) as service:
+            ticket = service.submit("m", images[0])
+            service.flush()
+            with pytest.raises(ConfigurationError, match="slot capacity"):
+                ticket.result(timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# Chaos: crash isolation, failover, determinism, leak sweep
+# ----------------------------------------------------------------------
+def chaos_run(network, images, plan, *, workers=1, collect_stats=False):
+    """One full process-mode run under ``plan``; every ticket resolved."""
+    service = BnnService(
+        ModelRegistry(),
+        ServiceConfig(
+            workers=workers,
+            worker_mode="process",
+            max_batch=4,
+            max_wait_ms=1.0,
+            cache_capacity=0,
+            resilience=ResilienceConfig(batch_timeout_s=2.0, max_restarts=8),
+        ),
+        fault_plan=plan,
+    )
+    service.register_network(
+        "m", network, n_samples=5, seed=3, share_weight_stacks=True
+    )
+    outcomes = []
+    with service:
+        tickets = [service.submit("m", row) for row in images]
+        service.flush()
+        for ticket in tickets:
+            try:
+                outcomes.append(ticket.result(timeout=60.0))
+            except WorkerCrashed as error:
+                outcomes.append(("crashed", type(error).__name__))
+        restarts = service._pool.restarts
+        incarnations = service._pool.incarnations()
+        stats = service.stats() if collect_stats else None
+    return outcomes, restarts, incarnations, stats
+
+
+class TestChaos:
+    def test_sigkill_failover_resolves_every_ticket(self, network, images):
+        before = os_shm_entries()
+        plan = FaultPlan(
+            events=(
+                FaultEvent(worker=0, at_batch=2, action="kill"),
+                FaultEvent(worker=0, at_batch=4, action="exit", incarnation=1),
+            )
+        )
+        outcomes, restarts, incarnations, stats = chaos_run(
+            network, images, plan, collect_stats=True
+        )
+        crashed = [o for o in outcomes if isinstance(o, tuple)]
+        served = [o for o in outcomes if not isinstance(o, tuple)]
+        assert len(crashed) + len(served) == len(images)  # nothing hung
+        assert len(crashed) == 8  # exactly the two killed batches
+        assert restarts >= 2
+        assert incarnations == [2]
+        assert stats["requests_served"] + stats["requests_failed"] == len(images)
+        assert stats["worker_restarts"] == restarts
+        # Post-restart serving is still the deterministic engine.
+        assert all(row.shape == (OUT,) for row in served)
+        # Abnormal deaths mid-batch leaked nothing.
+        assert shm.live_segments() == []
+        assert os_shm_entries() - before == set()
+
+    def test_stall_is_failed_over_by_the_supervisor(self, network, images):
+        plan = FaultPlan(
+            events=(FaultEvent(worker=0, at_batch=2, action="stall", seconds=30.0),)
+        )
+        outcomes, restarts, _, _ = chaos_run(network, images[:12], plan)
+        crashed = [o for o in outcomes if isinstance(o, tuple)]
+        assert len(crashed) == 4  # the stalled batch, and only it
+        assert restarts == 1
+
+    def test_identical_runs_are_bit_identical_including_failures(
+        self, network, images
+    ):
+        plan = FaultPlan(
+            events=(FaultEvent(worker=0, at_batch=2, action="kill"),)
+        )
+        first = chaos_run(network, images, plan)
+        second = chaos_run(network, images, plan)
+        for ours, theirs in zip(first[0], second[0]):
+            if isinstance(ours, tuple):
+                assert ours == theirs
+            else:
+                assert np.array_equal(ours, theirs)
+        assert first[1] == second[1]  # restart counts
+        assert first[2] == second[2]  # incarnations

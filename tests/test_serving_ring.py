@@ -1,0 +1,181 @@
+"""Pickle-free SPSC rings: ordering, flow control, torn-write detection.
+
+The ring is the only transport between the service and a process worker,
+so the load-bearing promises are pinned in-process here (cross-process
+behaviour rides on the same byte protocol and is covered end to end by
+``test_serving_procpool.py``):
+
+* strict FIFO with every header field intact, across wraparound;
+* Disruptor flow control — a full ring blocks then raises typed, never
+  overwrites unconsumed slots;
+* a stamped slot with a corrupt payload or an out-of-order sequence is a
+  :class:`~repro.errors.RingIntegrityError`, never silently consumed.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RingIntegrityError, ServingError
+from repro.serving import shm
+from repro.serving.ring import (
+    MSG_REQUEST,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    Ring,
+    _SLOT_HEADER,
+)
+
+
+@pytest.fixture()
+def ring():
+    ring = Ring.create(slots=2, slot_bytes=256, name_prefix="test-ring")
+    yield ring
+    ring.close()
+    ring.close()  # idempotent
+
+
+def consumer_of(ring):
+    """A second mapping of the same segment with its own pop cursor."""
+    return Ring.attach(ring.name)
+
+
+class TestRoundTrip:
+    def test_fields_and_payload_survive_verbatim(self, ring):
+        rows = np.random.default_rng(3).random((4, 5))
+        consumer = consumer_of(ring)
+        ring.push(
+            MSG_REQUEST,
+            rows.tobytes(),
+            rows=4,
+            cols=5,
+            version=7,
+            msg_id=42,
+            aux1=-1,
+            aux2=9,
+            aux3=2,
+        )
+        message = consumer.pop(timeout_s=1.0)
+        assert message is not None
+        assert (message.kind, message.rows, message.cols) == (MSG_REQUEST, 4, 5)
+        assert (message.version, message.msg_id) == (7, 42)
+        assert (message.aux1, message.aux2, message.aux3) == (-1, 9, 2)
+        assert np.array_equal(message.rows_array(), rows)
+        consumer.close()
+
+    def test_fifo_order_across_wraparound(self, ring):
+        consumer = consumer_of(ring)
+        for index in range(7):  # > 3 laps of a 2-slot ring
+            ring.push(MSG_RESULT, bytes([index]), msg_id=index)
+            message = consumer.pop(timeout_s=1.0)
+            assert message.msg_id == index
+            assert message.payload == bytes([index])
+        consumer.close()
+
+    def test_pop_on_empty_returns_none(self, ring):
+        assert consumer_of(ring).pop(timeout_s=0.01) is None
+
+    def test_empty_payload_messages(self, ring):
+        consumer = consumer_of(ring)
+        ring.push(MSG_SHUTDOWN)
+        message = consumer.pop(timeout_s=1.0)
+        assert message.kind == MSG_SHUTDOWN
+        assert message.payload == b""
+        consumer.close()
+
+    def test_rows_array_size_mismatch_is_typed(self, ring):
+        consumer = consumer_of(ring)
+        ring.push(MSG_RESULT, b"\0" * 16, rows=3, cols=3)  # 72 bytes declared
+        with pytest.raises(RingIntegrityError, match="carries"):
+            consumer.pop(timeout_s=1.0).rows_array()
+        consumer.close()
+
+
+class TestFlowControl:
+    def test_oversized_payload_is_a_configuration_error(self, ring):
+        with pytest.raises(ConfigurationError, match="slot capacity"):
+            ring.push(MSG_REQUEST, b"\0" * 257)
+
+    def test_full_ring_times_out_typed(self, ring):
+        ring.push(MSG_REQUEST, b"a")
+        ring.push(MSG_REQUEST, b"b")
+        with pytest.raises(ServingError, match="ring full"):
+            ring.push(MSG_REQUEST, b"c", timeout_s=0.05)
+
+    def test_full_ring_aborts_on_request(self, ring):
+        ring.push(MSG_REQUEST, b"a")
+        ring.push(MSG_REQUEST, b"b")
+        with pytest.raises(ServingError, match="aborted"):
+            ring.push(MSG_REQUEST, b"c", timeout_s=5.0, should_abort=lambda: True)
+
+    def test_consumer_progress_reopens_the_ring(self, ring):
+        consumer = consumer_of(ring)
+        ring.push(MSG_REQUEST, b"a")
+        ring.push(MSG_REQUEST, b"b")
+        assert consumer.pop(timeout_s=1.0).payload == b"a"
+        ring.push(MSG_REQUEST, b"c", timeout_s=1.0)  # must not raise now
+        assert consumer.pop(timeout_s=1.0).payload == b"b"
+        assert consumer.pop(timeout_s=1.0).payload == b"c"
+        consumer.close()
+
+    def test_pop_abort_returns_none_immediately(self, ring):
+        assert consumer_of(ring).pop(timeout_s=5.0, should_abort=lambda: True) is None
+
+
+class TestIntegrity:
+    def test_torn_payload_fails_crc(self, ring):
+        consumer = consumer_of(ring)
+        ring.push(MSG_REQUEST, b"payload-bytes")
+        body = ring._slot_offset(0) + _SLOT_HEADER.size
+        ring._buf[body] ^= 0xFF  # SIGKILL-mid-write stand-in
+        with pytest.raises(RingIntegrityError, match="CRC"):
+            consumer.pop(timeout_s=1.0)
+        consumer.close()
+
+    def test_sequence_ahead_of_cursor_is_detected(self, ring):
+        consumer = consumer_of(ring)
+        # Foreign write: stamp slot 0 with a far-future sequence.
+        struct.pack_into("<Q", ring._buf, ring._slot_offset(0), 99)
+        with pytest.raises(RingIntegrityError, match="sequence 99"):
+            consumer.pop(timeout_s=1.0)
+        consumer.close()
+
+    def test_attaching_a_non_ring_segment_is_typed(self):
+        segment = shm.publish_array(np.ones(64))
+        try:
+            with pytest.raises(RingIntegrityError, match="not a ring"):
+                Ring.attach(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_attaching_a_missing_ring_is_typed(self):
+        from repro.errors import ShmIntegrityError
+
+        with pytest.raises(ShmIntegrityError, match="does not exist"):
+            Ring.attach("never-created-ring")
+
+
+class TestLifecycle:
+    def test_create_validates_geometry(self):
+        with pytest.raises(ConfigurationError, match=">= 2 slots"):
+            Ring.create(slots=1)
+        with pytest.raises(ConfigurationError, match="slot_bytes"):
+            Ring.create(slot_bytes=8)
+
+    def test_owner_close_unlinks_the_segment(self):
+        ring = Ring.create(slots=2, slot_bytes=64, name_prefix="test-ring")
+        name = ring.name
+        assert name in shm.live_segments()
+        ring.close()
+        assert name not in shm.live_segments()
+
+    def test_attached_close_leaves_the_segment_to_the_owner(self):
+        ring = Ring.create(slots=2, slot_bytes=64, name_prefix="test-ring")
+        try:
+            consumer = Ring.attach(ring.name)
+            consumer.close()
+            assert ring.name in shm.live_segments()
+            Ring.attach(ring.name).close()  # still attachable
+        finally:
+            ring.close()

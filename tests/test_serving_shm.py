@@ -1,0 +1,178 @@
+"""Checksummed shared-memory segments: round trips, validation, leak sweep.
+
+The process serving tier trusts :mod:`repro.serving.shm` for exactly two
+promises, and these tests pin both:
+
+* an attached array is bit-for-bit the published one, and *every* header
+  violation (wrong magic, wrong layout, torn payload, inconsistent
+  sizes) is a typed :class:`~repro.errors.ShmIntegrityError` — never a
+  silently misread tensor;
+* ownership is parent-side and leak-proof: ``unlink`` is idempotent,
+  garbage collection unlinks through the finalizer, and ``sweep_all``
+  clears whatever remains.
+"""
+
+import gc
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShmIntegrityError
+from repro.serving import shm
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks_across_tests():
+    """Every test must leave the module registry the way it found it."""
+    before = shm.live_segments()
+    yield
+    leaked = [name for name in shm.live_segments() if name not in before]
+    for name in leaked:
+        shm._unlink_by_name(name)
+    assert leaked == [], f"test leaked shared-memory segments: {leaked}"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.random.default_rng(0).random((7, 5)),
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.linspace(0, 1, 9, dtype=np.float32),
+            np.zeros((0, 4)),  # empty payload
+        ],
+        ids=["f8-matrix", "i8-matrix", "f4-vector", "empty"],
+    )
+    def test_attach_returns_the_published_array_bit_for_bit(self, array):
+        segment = shm.publish_array(array)
+        try:
+            restored = shm.attach_array(segment.name)
+            assert restored.dtype == array.dtype
+            assert restored.shape == array.shape
+            assert restored.tobytes() == np.ascontiguousarray(array).tobytes()
+        finally:
+            segment.unlink()
+
+    def test_publish_snapshots_the_source(self):
+        source = np.ones((4, 4))
+        segment = shm.publish_array(source)
+        try:
+            source[:] = -1.0  # writer-side mutation after publish
+            assert (shm.attach_array(segment.name) == 1.0).all()
+        finally:
+            segment.unlink()
+
+    def test_attach_returns_a_private_copy(self):
+        segment = shm.publish_array(np.ones(8))
+        try:
+            first = shm.attach_array(segment.name)
+            first[:] = 7.0
+            assert (shm.attach_array(segment.name) == 1.0).all()
+        finally:
+            segment.unlink()
+
+    def test_too_many_dims_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="max 8 dims"):
+            shm.publish_array(np.zeros((1,) * 9))
+
+
+class TestHeaderValidation:
+    def test_attaching_a_missing_segment_is_typed(self):
+        with pytest.raises(ShmIntegrityError, match="does not exist"):
+            shm.attach_array("no-such-segment-0000")
+
+    def _corrupt(self, segment, offset, value):
+        raw = shm.attach_raw(segment.name)
+        try:
+            raw.buf[offset:offset + len(value)] = value
+        finally:
+            raw.close()
+
+    def test_foreign_magic_is_rejected(self):
+        segment = shm.publish_array(np.ones(4))
+        try:
+            self._corrupt(segment, 0, b"XXXX")
+            with pytest.raises(ShmIntegrityError, match="no repro header"):
+                shm.attach_array(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_future_layout_version_is_rejected(self):
+        segment = shm.publish_array(np.ones(4))
+        try:
+            raw = shm.attach_raw(segment.name)
+            try:
+                struct.pack_into("<H", raw.buf, 4, shm.HEADER_LAYOUT_VERSION + 1)
+            finally:
+                raw.close()
+            with pytest.raises(ShmIntegrityError, match="layout version"):
+                shm.attach_array(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_torn_payload_fails_the_digest(self):
+        segment = shm.publish_array(np.ones(16))
+        try:
+            self._corrupt(segment, shm._HEADER.size + 3, b"\x55")
+            with pytest.raises(ShmIntegrityError, match="content digest"):
+                shm.attach_array(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_inconsistent_declared_size_is_rejected(self):
+        segment = shm.publish_array(np.ones((2, 2)))
+        try:
+            raw = shm.attach_raw(segment.name)
+            try:
+                # ndim field (offset 4+2+2+16): claim 1 dim so the shape
+                # no longer matches the recorded payload byte count.
+                struct.pack_into("<I", raw.buf, 24, 1)
+            finally:
+                raw.close()
+            with pytest.raises(ShmIntegrityError, match="inconsistent"):
+                shm.attach_array(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_truncated_segment_is_rejected(self):
+        from multiprocessing import shared_memory
+
+        runt = shared_memory.SharedMemory(
+            create=True, size=8, name=shm.segment_name("runt")
+        )
+        handle = shm.OwnedSegment(runt)
+        try:
+            with pytest.raises(ShmIntegrityError, match="shorter than"):
+                shm.attach_array(handle.name)
+        finally:
+            handle.unlink()
+
+
+class TestOwnership:
+    def test_unlink_is_idempotent_and_tracked(self):
+        segment = shm.publish_array(np.ones(4))
+        assert segment.name in shm.live_segments()
+        assert segment.linked
+        segment.unlink()
+        segment.unlink()
+        assert segment.name not in shm.live_segments()
+        assert not segment.linked
+
+    def test_garbage_collection_unlinks_through_the_finalizer(self):
+        segment = shm.publish_array(np.ones(4))
+        name = segment.name
+        del segment
+        gc.collect()
+        assert name not in shm.live_segments()
+        with pytest.raises(ShmIntegrityError):
+            shm.attach_array(name)
+
+    def test_sweep_all_clears_every_registered_segment(self):
+        handles = [shm.publish_array(np.ones(2)) for _ in range(3)]
+        names = [handle.name for handle in handles]
+        assert shm.sweep_all() >= 3
+        assert not set(names) & set(shm.live_segments())
+        for name in names:
+            with pytest.raises(ShmIntegrityError):
+                shm.attach_array(name)
